@@ -1,0 +1,563 @@
+package previewtables_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the artifact end to end), plus ablation
+// benchmarks for the design decisions called out in DESIGN.md and
+// micro-benchmarks of the core substrate.
+//
+// Domains are generated once per process at a laptop-friendly scale and
+// shared; `go test -bench=. -benchmem` therefore measures computation, not
+// data generation (except in the generation benchmarks themselves).
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/dynamic"
+	"github.com/uta-db/previewtables/internal/experiments"
+	"github.com/uta-db/previewtables/internal/freebase"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/storage"
+	"github.com/uta-db/previewtables/internal/study"
+	"github.com/uta-db/previewtables/internal/triple"
+	"github.com/uta-db/previewtables/internal/yps09"
+)
+
+var benchGen = freebase.GenOptions{Scale: 2e-4, Seed: 77, MinEntities: 800, MinEdges: 4000}
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+	benchGraphs map[string]*graph.EntityGraph
+	benchDiscs  map[string]*core.Discoverer
+)
+
+func benchSetup(b *testing.B) (*experiments.Runner, map[string]*graph.EntityGraph, map[string]*core.Discoverer) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner = experiments.New(experiments.Config{
+			Gen:                 benchGen,
+			Seed:                77,
+			Repeats:             1,
+			BFSubsetCap:         5e5,
+			AprioriCandidateCap: 5e5,
+		})
+		benchGraphs = map[string]*graph.EntityGraph{}
+		benchDiscs = map[string]*core.Discoverer{}
+		for _, domain := range freebase.Domains() {
+			g, err := freebase.Generate(domain, benchGen)
+			if err != nil {
+				panic(err)
+			}
+			benchGraphs[domain] = g
+			set := score.Compute(g, score.DefaultWalkOptions())
+			benchDiscs[domain] = core.New(set, core.Options{Key: score.KeyCoverage, NonKey: score.NonKeyCoverage})
+		}
+	})
+	return benchRunner, benchGraphs, benchDiscs
+}
+
+func runTable(b *testing.B, f func() (*experiments.Table, error)) {
+	b.Helper()
+	t, err := f()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(t.Rows) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func runFigure(b *testing.B, f func() (*experiments.Figure, error)) {
+	b.Helper()
+	fig, err := f()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(fig.Panels) == 0 {
+		b.Fatal("empty figure")
+	}
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func BenchmarkTable2_DomainGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, domain := range freebase.Domains() {
+			if _, err := freebase.Generate(domain, benchGen); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable3_NonKeyMRR(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table3)
+	}
+}
+
+func BenchmarkTable4_CrowdPCC(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table4)
+	}
+}
+
+func BenchmarkFigure5_KeyPrecisionAtK(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFigure(b, r.Figure5)
+	}
+}
+
+func BenchmarkFigure6_KeyAvgP(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFigure(b, r.Figure6)
+	}
+}
+
+func BenchmarkFigure7_KeyNDCG(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFigure(b, r.Figure7)
+	}
+}
+
+// Figure 8's underlying algorithm invocations, one sub-benchmark per curve
+// point family: brute force vs dynamic programming on concise previews.
+func BenchmarkFigure8_ConciseDiscovery(b *testing.B) {
+	_, _, discs := benchSetup(b)
+	cases := []struct {
+		name   string
+		domain string
+		run    func(d *core.Discoverer) error
+	}{
+		{"BruteForce/basketball-k5-n10", "basketball", func(d *core.Discoverer) error {
+			_, err := d.BruteForce(core.Constraint{K: 5, N: 10, Mode: core.Concise})
+			return err
+		}},
+		{"BruteForce/architecture-k5-n10", "architecture", func(d *core.Discoverer) error {
+			_, err := d.BruteForce(core.Constraint{K: 5, N: 10, Mode: core.Concise})
+			return err
+		}},
+		{"BruteForce/music-k4-n10", "music", func(d *core.Discoverer) error {
+			_, err := d.BruteForce(core.Constraint{K: 4, N: 10, Mode: core.Concise})
+			return err
+		}},
+		{"DP/music-k5-n10", "music", func(d *core.Discoverer) error {
+			_, err := d.DynamicProgramming(core.Constraint{K: 5, N: 10, Mode: core.Concise})
+			return err
+		}},
+		{"DP/music-k9-n20", "music", func(d *core.Discoverer) error {
+			_, err := d.DynamicProgramming(core.Constraint{K: 9, N: 20, Mode: core.Concise})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			d := discs[c.domain]
+			for i := 0; i < b.N; i++ {
+				if err := c.run(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Figure 9's underlying invocations: brute force vs Apriori on tight and
+// diverse previews.
+func BenchmarkFigure9_DistanceDiscovery(b *testing.B) {
+	_, _, discs := benchSetup(b)
+	cases := []struct {
+		name   string
+		domain string
+		c      core.Constraint
+		apri   bool
+	}{
+		{"Apriori/music-tight-k6-d2", "music", core.Constraint{K: 6, N: 16, Mode: core.Tight, D: 2}, true},
+		{"Apriori/music-diverse-k5-d4", "music", core.Constraint{K: 5, N: 10, Mode: core.Diverse, D: 4}, true},
+		{"Apriori/basketball-tight-k5-d2", "basketball", core.Constraint{K: 5, N: 10, Mode: core.Tight, D: 2}, true},
+		{"BruteForce/music-tight-k4-d2", "music", core.Constraint{K: 4, N: 10, Mode: core.Tight, D: 2}, false},
+		{"BruteForce/basketball-diverse-k5-d4", "basketball", core.Constraint{K: 5, N: 10, Mode: core.Diverse, D: 4}, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			d := discs[c.domain]
+			for i := 0; i < b.N; i++ {
+				var err error
+				if c.apri {
+					_, err = d.Apriori(c.c)
+				} else {
+					_, err = d.BruteForce(c.c)
+				}
+				if err != nil && err != core.ErrNoPreview {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable5_StudyConversion(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["music"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.RunDomain(g, "music", study.Config{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6_MedianTimes(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	if _, err := r.Table5(); err != nil { // warm the study cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table6)
+	}
+}
+
+func BenchmarkTable7_PairwiseZ(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	if _, err := r.Table5(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table7)
+	}
+}
+
+func BenchmarkTables13to16_PairwiseZ(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	if _, err := r.Table5(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, domain := range []string{"books", "film", "tv", "people"} {
+			runTable(b, func() (*experiments.Table, error) { return r.PairwiseZ(domain) })
+		}
+	}
+}
+
+func BenchmarkFigures10to14_TimeBoxplots(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	if _, err := r.Table5(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, domain := range freebase.GoldDomains() {
+			runTable(b, func() (*experiments.Table, error) { return r.TimeBoxplots(domain) })
+		}
+	}
+}
+
+func BenchmarkTable8_Questionnaire(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table8)
+	}
+}
+
+func BenchmarkTable9_LikertRanking(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table9)
+	}
+}
+
+func BenchmarkTables17to21_Likert(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		for _, domain := range freebase.GoldDomains() {
+			runTable(b, func() (*experiments.Table, error) { return r.Likert(domain) })
+		}
+	}
+}
+
+func BenchmarkTable10_GoldStandard(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table10)
+	}
+}
+
+func BenchmarkTable11_SamplePreviews(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table11)
+	}
+}
+
+func BenchmarkTable12_TightDiversePreviews(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Table12)
+	}
+}
+
+func BenchmarkTables22and23_CrossPrecision(b *testing.B) {
+	r, _, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		runTable(b, r.Tables22and23)
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md Sec. 5) ------------------------------
+
+// Apriori level-wise candidate generation vs depth-first clique
+// backtracking inside the same optimal tight-preview search.
+func BenchmarkAblationCliqueEnumeration(b *testing.B) {
+	_, _, discs := benchSetup(b)
+	d := discs["music"]
+	c := core.Constraint{K: 5, N: 12, Mode: core.Tight, D: 2}
+	b.Run("Apriori", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Apriori(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CliqueDFS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.CliqueDFS(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Brute force vs DP on an instance small enough for both to run unaided.
+func BenchmarkAblationDPvsBruteForce(b *testing.B) {
+	_, _, discs := benchSetup(b)
+	d := discs["architecture"]
+	c := core.Constraint{K: 5, N: 10, Mode: core.Concise}
+	b.Run("BruteForce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.BruteForce(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.DynamicProgramming(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// All-pairs distance precomputation vs per-query BFS.
+func BenchmarkAblationDistanceMatrix(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	s := graphs["music"].Schema()
+	b.Run("Precompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := s.AllDistances()
+			_ = m.Dist(0, graph.TypeID(s.NumTypes()-1))
+		}
+	})
+	b.Run("PerQueryBFS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < s.NumTypes(); t++ {
+				_ = s.Distances(graph.TypeID(t))
+			}
+		}
+	})
+}
+
+// Cost of the entropy measure (tuple materialization) vs coverage-only
+// scoring at Set computation time.
+func BenchmarkAblationEntropyCost(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["music"]
+	s := g.Schema()
+	b.Run("EntropyAllTypes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < s.NumTypes(); t++ {
+				for _, inc := range s.Incident(graph.TypeID(t)) {
+					_ = score.Entropy(g, graph.TypeID(t), inc)
+				}
+			}
+		}
+	})
+	b.Run("CoverageAllTypes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for t := 0; t < s.NumTypes(); t++ {
+				for _, inc := range s.Incident(graph.TypeID(t)) {
+					sum += float64(s.RelType(inc.Rel).EdgeCount)
+				}
+			}
+			_ = sum
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func BenchmarkScoreComputeMusic(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["music"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = score.Compute(g, score.DefaultWalkOptions())
+	}
+}
+
+func BenchmarkStationaryDistribution(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	s := graphs["music"].Schema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = score.StationaryDistribution(s, score.DefaultWalkOptions())
+	}
+}
+
+func BenchmarkYPS09Summarize(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["film"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := yps09.New(g)
+		if _, err := y.Summarize(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["film"]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := storage.Write(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := storage.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkTripleMarshal(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["tv"]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := triple.Marshal(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkSchemaDerivation(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["books"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Schema()
+	}
+}
+
+func BenchmarkStudyPresentationBuild(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	g := graphs["tv"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.BuildPresentations(g, "tv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sequential vs parallel brute force on a mid-sized schema.
+func BenchmarkAblationParallelBruteForce(b *testing.B) {
+	_, _, discs := benchSetup(b)
+	d := discs["architecture"]
+	c := core.Constraint{K: 5, N: 10, Mode: core.Concise}
+	b.Run("Sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.BruteForce(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.BruteForceParallel(c, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Incremental score maintenance vs full batch recompute after streaming a
+// domain-sized update log.
+func BenchmarkAblationIncrementalScores(b *testing.B) {
+	_, graphs, _ := benchSetup(b)
+	src := graphs["tv"]
+	// Stream the generated tv domain into a dynamic graph once.
+	var dg dynamic.Graph
+	for t := 0; t < src.NumTypes(); t++ {
+		dg.Type(src.TypeName(graph.TypeID(t)))
+	}
+	rels := make([]graph.RelTypeID, src.NumRelTypes())
+	for ri := 0; ri < src.NumRelTypes(); ri++ {
+		rt := src.RelType(graph.RelTypeID(ri))
+		r, err := dg.RelType(rt.Name, rt.From, rt.To)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels[ri] = r
+	}
+	for e := 0; e < src.NumEntities(); e++ {
+		dg.Entity(src.EntityName(graph.EntityID(e)), src.Entity(graph.EntityID(e)).Types...)
+	}
+	for ei := 0; ei < src.NumEdges(); ei++ {
+		ed := src.Edge(graph.EdgeID(ei))
+		from := dg.Entity(src.EntityName(ed.From))
+		to := dg.Entity(src.EntityName(ed.To))
+		if err := dg.AddEdge(from, to, rels[ed.Rel]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("IncrementalRefresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dg.Scores(score.DefaultWalkOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BatchRecompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = score.Compute(src, score.DefaultWalkOptions())
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the synthetic Freebase domains.
+//
+// Usage:
+//
+//	experiments [-run all|<ids>] [-scale f] [-seed n] [-repeats n]
+//
+// Experiment ids: table2 table3 table4 fig5 fig6 fig7 fig8 fig9 table5
+// table6 table7 tables13-16 figs10-14 table8 table9 tables17-21 table10
+// table11 table12 tables22-23. Comma-separate to run several.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/uta-db/previewtables/internal/experiments"
+	"github.com/uta-db/previewtables/internal/freebase"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	scale := flag.Float64("scale", 0, "generation scale (fraction of paper sizes; 0 = default 1e-3)")
+	seed := flag.Int64("seed", 0, "random seed (0 = default)")
+	repeats := flag.Int("repeats", 0, "timing repetitions (0 = default 3)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *scale > 0 {
+		cfg.Gen.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+		cfg.Gen.Seed = *seed
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	r := experiments.New(cfg)
+
+	want := map[string]bool{}
+	all := *run == "all"
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	sel := func(id string) bool { return all || want[id] }
+
+	type tableExp struct {
+		id string
+		f  func() (*experiments.Table, error)
+	}
+	type figExp struct {
+		id string
+		f  func() (*experiments.Figure, error)
+	}
+
+	tables := []tableExp{
+		{"table2", r.Table2},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+		{"table5", r.Table5},
+		{"table6", r.Table6},
+		{"table7", r.Table7},
+		{"table8", r.Table8},
+		{"table9", r.Table9},
+		{"table10", r.Table10},
+		{"table11", r.Table11},
+		{"table12", r.Table12},
+		{"tables22-23", r.Tables22and23},
+	}
+	figures := []figExp{
+		{"fig5", r.Figure5},
+		{"fig6", r.Figure6},
+		{"fig7", r.Figure7},
+		{"fig8", r.Figure8},
+		{"fig9", r.Figure9},
+	}
+
+	ok := true
+	for _, e := range tables {
+		if !sel(e.id) {
+			continue
+		}
+		t, err := e.f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			ok = false
+			continue
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	for _, e := range figures {
+		if !sel(e.id) {
+			continue
+		}
+		f, err := e.f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			ok = false
+			continue
+		}
+		f.Fprint(os.Stdout)
+		fmt.Println()
+	}
+
+	// Per-domain experiment families.
+	if sel("tables13-16") || sel("table7") && all {
+		// covered by the loop below when all
+	}
+	if all || want["tables13-16"] {
+		for _, domain := range freebase.GoldDomains() {
+			if domain == "music" {
+				continue // that's table7
+			}
+			t, err := r.PairwiseZ(domain)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pairwise %s: %v\n", domain, err)
+				ok = false
+				continue
+			}
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if all || want["figs10-14"] {
+		for _, domain := range freebase.GoldDomains() {
+			t, err := r.TimeBoxplots(domain)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: boxplots %s: %v\n", domain, err)
+				ok = false
+				continue
+			}
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if all || want["tables17-21"] {
+		for _, domain := range freebase.GoldDomains() {
+			t, err := r.Likert(domain)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: likert %s: %v\n", domain, err)
+				ok = false
+				continue
+			}
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: build the paper's Fig. 1 entity graph through the public API,
+// discover the optimal 2-table preview of Fig. 2, and print it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	previewtables "github.com/uta-db/previewtables"
+)
+
+func main() {
+	var b previewtables.Builder
+
+	// Entity types (Fig. 3's schema graph vertices).
+	film := b.Type("FILM")
+	actor := b.Type("FILM ACTOR")
+	director := b.Type("FILM DIRECTOR")
+	producer := b.Type("FILM PRODUCER")
+	genre := b.Type("FILM GENRE")
+	award := b.Type("AWARD")
+
+	// Relationship types. Note the two distinct "Award Winners"
+	// relationship types sharing a surface name — one from actors, one
+	// from directors — exactly as in the paper's Sec. 2.
+	rActor := b.RelType("Actor", actor, film)
+	rDirector := b.RelType("Director", director, film)
+	rGenres := b.RelType("Genres", film, genre)
+	rProducer := b.RelType("Producer", producer, film)
+	rExec := b.RelType("Executive Producer", producer, film)
+	rAwardActor := b.RelType("Award Winners", actor, award)
+	rAwardDirector := b.RelType("Award Winners", director, award)
+
+	// Entities and relationships of Fig. 1. Entity types are inferred
+	// from the relationship types, so plain names suffice.
+	edges := []struct {
+		from, to string
+		rel      previewtables.RelTypeID
+	}{
+		{"Will Smith", "Men in Black", rActor},
+		{"Will Smith", "Men in Black II", rActor},
+		{"Will Smith", "Hancock", rActor},
+		{"Will Smith", "I, Robot", rActor},
+		{"Tommy Lee Jones", "Men in Black", rActor},
+		{"Tommy Lee Jones", "Men in Black II", rActor},
+		{"Barry Sonnenfeld", "Men in Black", rDirector},
+		{"Barry Sonnenfeld", "Men in Black II", rDirector},
+		{"Peter Berg", "Hancock", rDirector},
+		{"Alex Proyas", "I, Robot", rDirector},
+		{"Men in Black", "Action Film", rGenres},
+		{"Men in Black", "Science Fiction", rGenres},
+		{"Men in Black II", "Action Film", rGenres},
+		{"Men in Black II", "Science Fiction", rGenres},
+		{"I, Robot", "Action Film", rGenres},
+		{"Will Smith", "Hancock", rProducer},
+		{"Will Smith", "Men in Black II", rProducer},
+		{"Will Smith", "I, Robot", rExec},
+		{"Will Smith", "Saturn Award", rAwardActor},
+		{"Tommy Lee Jones", "Academy Award", rAwardActor},
+		{"Barry Sonnenfeld", "Razzie Award", rAwardDirector},
+	}
+	for _, e := range edges {
+		b.Edge(b.Entity(e.from), b.Entity(e.to), e.rel)
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entity graph: %s\n\n", g.Stats())
+
+	// A 2-table preview with at most 6 non-key attributes — the setting of
+	// the paper's Sec. 4 example. The optimal preview scores 84.
+	p, err := previewtables.Discover(g, previewtables.Constraint{K: 2, N: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := previewtables.Render(os.Stdout, g, &p, 4); err != nil {
+		log.Fatal(err)
+	}
+}

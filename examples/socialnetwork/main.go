@@ -1,0 +1,131 @@
+// Socialnetwork: a domain-specific scenario built entirely through the
+// public API — a small social/professional network with users, posts,
+// groups and employers. Shows entropy-based non-key scoring (which prefers
+// informative attributes over merely frequent ones), representative tuple
+// selection, and Markdown rendering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	previewtables "github.com/uta-db/previewtables"
+)
+
+func main() {
+	g := buildNetwork()
+	fmt.Printf("social graph: %s\n\n", g.Stats())
+
+	// Entropy-based non-key scoring: attributes whose values actually
+	// discriminate between entities score higher than constant ones.
+	d := previewtables.NewDiscoverer(g, previewtables.KeyCoverage, previewtables.NonKeyEntropy)
+
+	// Derive the size constraint from a display budget of 16 table cells.
+	c := d.SuggestSize(16)
+	fmt.Printf("suggested constraint from a 16-cell budget: k=%d n=%d\n\n", c.K, c.N)
+
+	p, err := d.Discover(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal preview (score %.4g):\n\n", p.Score)
+	for i := range p.Tables {
+		// Representative tuples: greedily chosen to expose as many
+		// distinct attribute values as possible.
+		if err := previewtables.RenderMarkdown(os.Stdout, g, &p.Tables[i], 0); err != nil {
+			log.Fatal(err)
+		}
+		for _, tu := range previewtables.RepresentativeTuples(g, &p.Tables[i], 3) {
+			fmt.Printf("| %s |", g.EntityName(tu.Key))
+			for _, vals := range tu.Values {
+				switch len(vals) {
+				case 0:
+					fmt.Printf(" - |")
+				case 1:
+					fmt.Printf(" %s |", g.EntityName(vals[0]))
+				default:
+					fmt.Printf(" %d values |", len(vals))
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func buildNetwork() *previewtables.EntityGraph {
+	var b previewtables.Builder
+	user := b.Type("USER")
+	post := b.Type("POST")
+	group := b.Type("GROUP")
+	company := b.Type("COMPANY")
+	city := b.Type("CITY")
+	topic := b.Type("TOPIC")
+
+	follows := b.RelType("Follows", user, user)
+	authored := b.RelType("Authored", user, post)
+	likes := b.RelType("Likes", user, post)
+	member := b.RelType("Member Of", user, group)
+	worksAt := b.RelType("Works At", user, company)
+	livesIn := b.RelType("Lives In", user, city)
+	about := b.RelType("About", post, topic)
+	groupTopic := b.RelType("Focused On", group, topic)
+
+	rng := rand.New(rand.NewSource(42))
+	users := make([]previewtables.EntityID, 40)
+	for i := range users {
+		users[i] = b.Entity(fmt.Sprintf("user%02d", i), user)
+	}
+	posts := make([]previewtables.EntityID, 120)
+	for i := range posts {
+		posts[i] = b.Entity(fmt.Sprintf("post%03d", i), post)
+	}
+	groups := make([]previewtables.EntityID, 6)
+	for i := range groups {
+		groups[i] = b.Entity(fmt.Sprintf("group-%c", 'A'+i), group)
+	}
+	companies := []previewtables.EntityID{
+		b.Entity("Initech", company), b.Entity("Globex", company), b.Entity("Hooli", company),
+	}
+	cities := []previewtables.EntityID{
+		b.Entity("Arlington", city), b.Entity("Austin", city), b.Entity("Dallas", city),
+	}
+	topics := []previewtables.EntityID{
+		b.Entity("databases", topic), b.Entity("graphs", topic),
+		b.Entity("espresso", topic), b.Entity("cycling", topic),
+	}
+
+	for i, p := range posts {
+		b.Edge(users[i%len(users)], p, authored)
+		b.Edge(p, topics[rng.Intn(len(topics))], about)
+		for l := 0; l < rng.Intn(4); l++ {
+			b.Edge(users[rng.Intn(len(users))], p, likes)
+		}
+	}
+	for _, u := range users {
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			other := users[rng.Intn(len(users))]
+			if other != u {
+				b.Edge(u, other, follows)
+			}
+		}
+		if rng.Intn(3) > 0 {
+			b.Edge(u, groups[rng.Intn(len(groups))], member)
+		}
+		if rng.Intn(4) > 0 {
+			b.Edge(u, companies[rng.Intn(len(companies))], worksAt)
+		}
+		b.Edge(u, cities[rng.Intn(len(cities))], livesIn)
+	}
+	for _, gr := range groups {
+		b.Edge(gr, topics[rng.Intn(len(topics))], groupTopic)
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}

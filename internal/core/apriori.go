@@ -1,0 +1,198 @@
+package core
+
+// Apriori-style optimal tight/diverse preview discovery (Alg. 3).
+//
+// Step 1 finds all k-subsets of entity types whose pairwise distances
+// satisfy the constraint — equivalently, all k-cliques of the "compatibility
+// graph" whose vertices are entity types and whose edges join pairs within
+// distance d (tight) or at least d apart (diverse). Candidates are grown
+// level-wise à la Apriori frequent-itemset mining [1]: two (i−1)-subsets
+// sharing their first i−2 elements merge into an i-subset, and only the one
+// new pair needs a distance check (the pairwise constraint is downward
+// closed, so both parents being valid covers every other pair).
+//
+// Step 2 assembles the preview of each surviving k-subset per Theorem 3
+// (ComputePreview) and returns the best.
+//
+// Candidate levels are stored flat (one []int32 with a fixed stride) rather
+// than as a slice of slices: the d-sweep experiments of Fig. 9 generate
+// millions of candidates at loose distance constraints, and per-candidate
+// slice headers would triple the memory bill.
+
+import (
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+// Apriori solves optimal tight/diverse preview discovery. In Concise mode
+// (no distance constraint) every pair is compatible, making it an exhaustive
+// — and slower — equivalent of BruteForce; it is permitted for testing but
+// DynamicProgramming should be preferred.
+func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
+	if err := c.Validate(); err != nil {
+		return Preview{}, err
+	}
+	types := d.usableTypes()
+	if len(types) < c.K {
+		return Preview{}, ErrNoPreview
+	}
+	var stats SearchStats
+
+	// Level i holds all valid i-subsets as indexes into types, flattened
+	// with stride i, lexicographically sorted by construction.
+	k := c.K
+	var level []int32
+	stride := 0
+	if k == 1 {
+		stride = 1
+		for i := range types {
+			level = append(level, int32(i))
+		}
+	} else {
+		stride = 2
+		for i := 0; i < len(types); i++ {
+			for j := i + 1; j < len(types); j++ {
+				if d.distOK(c, types[i], types[j]) {
+					level = append(level, int32(i), int32(j))
+				}
+			}
+		}
+		stats.CandidatesGenerated += len(level) / 2
+		for size := 3; size <= k && len(level) > 0; size++ {
+			level = d.joinLevel(c, types, level, stride)
+			stride = size
+			stats.CandidatesGenerated += len(level) / stride
+		}
+	}
+	if len(level) == 0 {
+		return Preview{}, ErrNoPreview
+	}
+
+	var (
+		bestKeys  []graph.TypeID
+		bestScore float64
+		found     bool
+	)
+	keys := make([]graph.TypeID, k)
+	take := make([]int, k)
+	for off := 0; off < len(level); off += stride {
+		for i := 0; i < stride; i++ {
+			keys[i] = types[level[off+i]]
+		}
+		stats.SubsetsScored++
+		score := d.previewScore(keys, c.N, take)
+		if !found || score > bestScore {
+			bestScore = score
+			bestKeys = append(bestKeys[:0], keys...)
+			found = true
+		}
+	}
+	if !found {
+		return Preview{}, ErrNoPreview
+	}
+	best, err := d.ComputePreview(bestKeys, c.N)
+	if err != nil {
+		return Preview{}, err
+	}
+	best.Stats = stats
+	return best, nil
+}
+
+// joinLevel merges a flat level of (size-1)-subsets into the flat level of
+// size-subsets. Blocks sharing a prefix are contiguous because levels are
+// generated in lexicographic order; within a block only the new last-element
+// pair needs a distance check.
+func (d *Discoverer) joinLevel(c Constraint, types []graph.TypeID, level []int32, stride int) []int32 {
+	var next []int32
+	nCands := len(level) / stride
+	for a := 0; a < nCands; a++ {
+		offA := a * stride
+		for b := a + 1; b < nCands; b++ {
+			offB := b * stride
+			if !samePrefix(level[offA:offA+stride], level[offB:offB+stride]) {
+				break
+			}
+			ta := types[level[offA+stride-1]]
+			tb := types[level[offB+stride-1]]
+			if !d.distOK(c, ta, tb) {
+				continue
+			}
+			next = append(next, level[offA:offA+stride]...)
+			next = append(next, level[offB+stride-1])
+		}
+	}
+	return next
+}
+
+// samePrefix reports whether a and b agree on all but their last element.
+func samePrefix(a, b []int32) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CliqueDFS solves the same problem as Apriori with a depth-first k-clique
+// backtracking enumeration instead of level-wise candidate generation. The
+// paper (citing Kose et al. [11]) argues the Apriori style beats classic
+// clique enumeration; this implementation is the comparison point for that
+// ablation (BenchmarkAblationCliqueEnumeration).
+func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
+	if err := c.Validate(); err != nil {
+		return Preview{}, err
+	}
+	types := d.usableTypes()
+	if len(types) < c.K {
+		return Preview{}, ErrNoPreview
+	}
+
+	var (
+		bestKeys  []graph.TypeID
+		bestScore float64
+		found     bool
+		stats     SearchStats
+	)
+	subset := make([]graph.TypeID, c.K)
+	take := make([]int, c.K)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == c.K {
+			stats.SubsetsScored++
+			score := d.previewScore(subset, c.N, take)
+			if !found || score > bestScore {
+				bestScore = score
+				bestKeys = append(bestKeys[:0], subset...)
+				found = true
+			}
+			return
+		}
+		for i := start; i <= len(types)-(c.K-pos); i++ {
+			t := types[i]
+			ok := true
+			for q := 0; q < pos; q++ {
+				if !d.distOK(c, subset[q], t) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			stats.CandidatesGenerated++
+			subset[pos] = t
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+
+	if !found {
+		return Preview{}, ErrNoPreview
+	}
+	best, err := d.ComputePreview(bestKeys, c.N)
+	if err != nil {
+		return Preview{}, err
+	}
+	best.Stats = stats
+	return best, nil
+}

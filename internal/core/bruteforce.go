@@ -1,0 +1,82 @@
+package core
+
+// Brute-force optimal preview discovery (Alg. 1). Enumerates every k-subset
+// of usable entity types, filters complete subsets by the pairwise distance
+// constraint when in Tight/Diverse mode, assembles each surviving preview
+// per Theorem 3 and keeps the best.
+//
+// Faithful to the paper, the distance check happens on complete k-subsets
+// ("by performing distance check on every pair of preview tables in each
+// k-subset of entity types") — no early pruning. That is exactly what makes
+// the Apriori-style algorithm of Alg. 3 outperform it by orders of
+// magnitude in Fig. 9; an early-pruning brute force would blur that
+// comparison. It serves as ground truth in tests and as the baseline of the
+// efficiency experiments (Figs. 8–9).
+
+import "github.com/uta-db/previewtables/internal/graph"
+
+// BruteForce solves the optimal preview discovery problem by exhaustive
+// enumeration. It supports all three modes. Returns ErrNoPreview when the
+// constrained space is empty.
+func (d *Discoverer) BruteForce(c Constraint) (Preview, error) {
+	if err := c.Validate(); err != nil {
+		return Preview{}, err
+	}
+	types := d.usableTypes()
+	if len(types) < c.K {
+		return Preview{}, ErrNoPreview
+	}
+
+	var (
+		bestKeys  []graph.TypeID
+		bestScore float64
+		found     bool
+		stats     SearchStats
+	)
+	subset := make([]graph.TypeID, c.K)
+	take := make([]int, c.K) // allocation-free scoring scratch
+
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == c.K {
+			if c.Mode != Concise && !d.pairwiseOK(c, subset) {
+				return
+			}
+			stats.SubsetsScored++
+			score := d.previewScore(subset, c.N, take)
+			if !found || score > bestScore {
+				bestScore = score
+				bestKeys = append(bestKeys[:0], subset...)
+				found = true
+			}
+			return
+		}
+		for i := start; i <= len(types)-(c.K-pos); i++ {
+			subset[pos] = types[i]
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+
+	if !found {
+		return Preview{}, ErrNoPreview
+	}
+	best, err := d.ComputePreview(bestKeys, c.N)
+	if err != nil {
+		return Preview{}, err
+	}
+	best.Stats = stats
+	return best, nil
+}
+
+// pairwiseOK checks the distance constraint on every pair of the subset.
+func (d *Discoverer) pairwiseOK(c Constraint, subset []graph.TypeID) bool {
+	for i := 0; i < len(subset); i++ {
+		for j := i + 1; j < len(subset); j++ {
+			if !d.distOK(c, subset[i], subset[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

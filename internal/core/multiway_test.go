@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+// performanceGraph builds the Appendix B scenario: FILM PERFORMANCE is a
+// mediator connecting FILM, FILM ACTOR and FILM CHARACTER ("Agent J is a
+// FILM CHARACTER played by FILM ACTOR Will Smith in FILM Men in Black").
+func performanceGraph(t *testing.T) (*graph.EntityGraph, graph.TypeID, graph.Incidence) {
+	t.Helper()
+	var b graph.Builder
+	film := b.Type("FILM")
+	perf := b.Type("FILM PERFORMANCE")
+	actor := b.Type("FILM ACTOR")
+	character := b.Type("FILM CHARACTER")
+
+	rPerf := b.RelType("Performances", film, perf)
+	rActor := b.RelType("Performance actor", perf, actor)
+	rChar := b.RelType("Performance character", perf, character)
+
+	mib := b.Entity("Men in Black", film)
+	p1 := b.Entity("perf-1", perf)
+	will := b.Entity("Will Smith", actor)
+	agentJ := b.Entity("Agent J", character)
+	b.Edge(mib, p1, rPerf)
+	b.Edge(p1, will, rActor)
+	b.Edge(p1, agentJ, rChar)
+
+	p2 := b.Entity("perf-2", perf)
+	tommy := b.Entity("Tommy Lee Jones", actor)
+	agentK := b.Entity("Agent K", character)
+	b.Edge(mib, p2, rPerf)
+	b.Edge(p2, tommy, rActor)
+	b.Edge(p2, agentK, rChar)
+
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Schema()
+	for _, inc := range s.Incident(film) {
+		if s.RelType(inc.Rel).Name == "Performances" && inc.Outgoing {
+			return g, film, inc
+		}
+	}
+	t.Fatal("Performances incidence not found")
+	return nil, 0, graph.Incidence{}
+}
+
+func TestMediatorDetection(t *testing.T) {
+	g, film, inc := performanceGraph(t)
+	s := g.Schema()
+	info, ok := core.Mediator(s, film, inc)
+	if !ok {
+		t.Fatal("Performances should be detected as multi-way")
+	}
+	if s.TypeName(info.Target) != "FILM PERFORMANCE" {
+		t.Errorf("target = %s", s.TypeName(info.Target))
+	}
+	names := map[string]bool{}
+	for _, p := range info.Participants {
+		names[s.TypeName(p)] = true
+	}
+	if !names["FILM ACTOR"] || !names["FILM CHARACTER"] || len(names) != 2 {
+		t.Errorf("participants = %v", names)
+	}
+}
+
+func TestMediatorNegative(t *testing.T) {
+	// In Fig. 1, Genres targets FILM GENRE, which connects only back to
+	// FILM: a plain binary attribute.
+	g, d := fig1Discoverer(t)
+	_ = d
+	s := g.Schema()
+	film, _ := g.TypeByName("FILM")
+	for _, inc := range s.Incident(film) {
+		if s.RelType(inc.Rel).Name == "Genres" {
+			if _, ok := core.Mediator(s, film, inc); ok {
+				t.Error("Genres should not be multi-way")
+			}
+		}
+	}
+}
+
+func TestExpandValues(t *testing.T) {
+	g, film, inc := performanceGraph(t)
+	s := g.Schema()
+	tb := core.Table{Key: film, NonKeys: []core.Candidate{{Inc: inc}}}
+	tuples := core.MaterializeAll(g, &tb)
+	if len(tuples) != 1 {
+		t.Fatalf("tuples = %d, want 1", len(tuples))
+	}
+	expanded := core.ExpandValues(g, film, inc, tuples[0], 0)
+	if len(expanded) != 2 {
+		t.Fatalf("expanded values = %d, want 2 performances", len(expanded))
+	}
+	// Find perf-1 and check its linked actor/character.
+	var found bool
+	for _, ev := range expanded {
+		if g.EntityName(ev.Value) != "perf-1" {
+			continue
+		}
+		found = true
+		actor, _ := s.TypeByName("FILM ACTOR")
+		character, _ := s.TypeByName("FILM CHARACTER")
+		if len(ev.Linked[actor]) != 1 || g.EntityName(ev.Linked[actor][0]) != "Will Smith" {
+			t.Errorf("perf-1 actor = %v", ev.Linked[actor])
+		}
+		if len(ev.Linked[character]) != 1 || g.EntityName(ev.Linked[character][0]) != "Agent J" {
+			t.Errorf("perf-1 character = %v", ev.Linked[character])
+		}
+	}
+	if !found {
+		t.Error("perf-1 not among expanded values")
+	}
+}
+
+func TestExpandValuesBinaryAttribute(t *testing.T) {
+	// Expanding a plain attribute yields values with empty Linked maps.
+	g, d := fig1Discoverer(t)
+	_ = d
+	s := g.Schema()
+	film, _ := g.TypeByName("FILM")
+	var genres graph.Incidence
+	for _, inc := range s.Incident(film) {
+		if s.RelType(inc.Rel).Name == "Genres" {
+			genres = inc
+		}
+	}
+	tb := core.Table{Key: film, NonKeys: []core.Candidate{{Inc: genres}}}
+	tuples := core.MaterializeAll(g, &tb)
+	for _, tu := range tuples {
+		for _, ev := range core.ExpandValues(g, film, genres, tu, 0) {
+			if len(ev.Linked) != 0 {
+				t.Errorf("binary attribute expanded: %v", ev.Linked)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+// Executable forms of the paper's NP-hardness reductions (Sec. 4.1). The
+// decision problems TightPreview(Gs, k, n, d, s) and
+// DiversePreview(Gs, k, n, d, s) are reduced from Clique(G, k); these
+// constructors build the schema graph Gs from an arbitrary undirected graph
+// G so that tests can verify both directions of each reduction:
+//
+//	Clique(G, k)  ⇔  TightPreview(ReduceCliqueToTight(G), k, k, 1, 0)
+//	Clique(G, k)  ⇔  DiversePreview(ReduceCliqueToDiverse(G), k, k, 2, 0)
+//
+// As in the paper's proofs the schema graphs carry no scores (s = 0): any
+// preview satisfying the structural constraints witnesses the clique.
+
+import (
+	"fmt"
+
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+// UndirectedGraph is a simple adjacency-matrix graph for the reductions and
+// their tests. Adj must be symmetric with a false diagonal.
+type UndirectedGraph struct {
+	N   int
+	Adj [][]bool
+}
+
+// NewUndirectedGraph allocates an empty graph on n vertices.
+func NewUndirectedGraph(n int) *UndirectedGraph {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	return &UndirectedGraph{N: n, Adj: adj}
+}
+
+// AddEdge inserts the undirected edge {a, b}.
+func (g *UndirectedGraph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.Adj[a][b] = true
+	g.Adj[b][a] = true
+}
+
+// HasClique reports whether g contains a clique of size k, by backtracking.
+// It is the small-instance ground truth for the reduction tests.
+func (g *UndirectedGraph) HasClique(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k == 1 {
+		return g.N > 0
+	}
+	cur := make([]int, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(cur) == k {
+			return true
+		}
+		for v := start; v <= g.N-(k-len(cur)); v++ {
+			ok := true
+			for _, u := range cur {
+				if !g.Adj[u][v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cur = append(cur, v)
+				if rec(v + 1) {
+					return true
+				}
+				cur = cur[:len(cur)-1]
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// ReduceCliqueToTight builds the schema graph of Theorem 1: a vertex
+// bijection, with one relationship type per edge of G. A tight preview with
+// k tables, n = k non-key attributes and d = 1 exists iff G has a k-clique
+// (for k ≥ 2; a 1-clique needs only a non-isolated vertex, matching the
+// preview's requirement of one non-key attribute).
+func ReduceCliqueToTight(g *UndirectedGraph) *graph.Schema {
+	names := make([]string, g.N)
+	for i := range names {
+		names[i] = fmt.Sprintf("tau%d", i)
+	}
+	var rels []graph.RelType
+	for a := 0; a < g.N; a++ {
+		for b := a + 1; b < g.N; b++ {
+			if g.Adj[a][b] {
+				rels = append(rels, graph.RelType{
+					Name: fmt.Sprintf("gamma%d_%d", a, b),
+					From: graph.TypeID(a), To: graph.TypeID(b),
+				})
+			}
+		}
+	}
+	s, err := graph.NewSchema(names, rels)
+	if err != nil {
+		panic("core: reduction construction: " + err.Error())
+	}
+	return s
+}
+
+// ReduceCliqueToDiverse builds the schema graph of Theorem 2: a special
+// vertex τ0 adjacent to every other vertex, and — barring τ0 — the
+// complement of G. Two original vertices are adjacent in G iff their images
+// are exactly distance 2 apart in Gs (only via τ0), so a diverse preview
+// with pairwise distance ≥ 2 selects exactly the images of a clique.
+// τ0 occupies TypeID 0; vertex v of G maps to TypeID v+1.
+func ReduceCliqueToDiverse(g *UndirectedGraph) *graph.Schema {
+	names := make([]string, g.N+1)
+	names[0] = "tau0"
+	for i := 0; i < g.N; i++ {
+		names[i+1] = fmt.Sprintf("tau%d", i+1)
+	}
+	var rels []graph.RelType
+	for v := 0; v < g.N; v++ {
+		rels = append(rels, graph.RelType{
+			Name: fmt.Sprintf("hub%d", v+1),
+			From: 0, To: graph.TypeID(v + 1),
+		})
+	}
+	for a := 0; a < g.N; a++ {
+		for b := a + 1; b < g.N; b++ {
+			if !g.Adj[a][b] { // complement
+				rels = append(rels, graph.RelType{
+					Name: fmt.Sprintf("comp%d_%d", a+1, b+1),
+					From: graph.TypeID(a + 1), To: graph.TypeID(b + 1),
+				})
+			}
+		}
+	}
+	s, err := graph.NewSchema(names, rels)
+	if err != nil {
+		panic("core: reduction construction: " + err.Error())
+	}
+	return s
+}
+
+// DecideTightPreview answers the decision problem
+// TightPreview(Gs, k, n, d, 0): does any preview with k tables, at most n
+// non-key attributes and pairwise table distance ≤ d exist? Scores are
+// irrelevant at s = 0, so any returned preview is a witness.
+func DecideTightPreview(s *graph.Schema, k, n, dBound int) bool {
+	return decideStructural(s, Constraint{K: k, N: n, Mode: Tight, D: dBound})
+}
+
+// DecideDiversePreview answers DiversePreview(Gs, k, n, d, 0).
+func DecideDiversePreview(s *graph.Schema, k, n, dBound int) bool {
+	return decideStructural(s, Constraint{K: k, N: n, Mode: Diverse, D: dBound})
+}
+
+func decideStructural(s *graph.Schema, c Constraint) bool {
+	set := score.ComputeSchemaOnly(s, score.DefaultWalkOptions())
+	d := New(set, Options{Key: score.KeyCoverage, NonKey: score.NonKeyCoverage})
+	_, err := d.Apriori(c)
+	return err == nil
+}

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uta-db/previewtables/internal/core"
+)
+
+func randomUndirected(rng *rand.Rand, n int, p float64) *core.UndirectedGraph {
+	g := core.NewUndirectedGraph(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < p {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+func TestHasClique(t *testing.T) {
+	g := core.NewUndirectedGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	if !g.HasClique(3) {
+		t.Error("triangle 0-1-2 should be found")
+	}
+	if g.HasClique(4) {
+		t.Error("no 4-clique exists")
+	}
+	if !g.HasClique(1) || !g.HasClique(0) {
+		t.Error("trivial cliques should exist")
+	}
+}
+
+func TestTheorem1ReductionExample(t *testing.T) {
+	// A 5-cycle has cliques of size 2 but not 3.
+	g := core.NewUndirectedGraph(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	s := core.ReduceCliqueToTight(g)
+	if !core.DecideTightPreview(s, 2, 2, 1) {
+		t.Error("TightPreview(k=2) should exist for the 5-cycle")
+	}
+	if core.DecideTightPreview(s, 3, 3, 1) {
+		t.Error("TightPreview(k=3) should not exist for the 5-cycle")
+	}
+}
+
+func TestTheorem2ReductionExample(t *testing.T) {
+	// Fig. 4-style check: the complement construction plus hub vertex.
+	g := core.NewUndirectedGraph(6)
+	// Clique {0,1,2}; vertex 5 isolated-ish.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	s := core.ReduceCliqueToDiverse(g)
+	if !core.DecideDiversePreview(s, 3, 3, 2) {
+		t.Error("DiversePreview(k=3) should exist: G has the clique {0,1,2}")
+	}
+	if core.DecideDiversePreview(s, 4, 4, 2) {
+		t.Error("DiversePreview(k=4) should not exist: G has no 4-clique")
+	}
+}
+
+func TestTheorem1ReductionProperty(t *testing.T) {
+	// Clique(G, k) ⇔ TightPreview(Gs, k, k, 1, 0) on random graphs.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 3
+		g := randomUndirected(rng, n, 0.5)
+		s := core.ReduceCliqueToTight(g)
+		for k := 2; k <= 4 && k <= n; k++ {
+			if g.HasClique(k) != core.DecideTightPreview(s, k, k, 1) {
+				t.Logf("seed %d: mismatch at k=%d", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem2ReductionProperty(t *testing.T) {
+	// Clique(G, k) ⇔ DiversePreview(Gs, k, k, 2, 0) on random graphs.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 3
+		g := randomUndirected(rng, n, 0.5)
+		s := core.ReduceCliqueToDiverse(g)
+		for k := 2; k <= 4 && k <= n; k++ {
+			if g.HasClique(k) != core.DecideDiversePreview(s, k, k, 2) {
+				t.Logf("seed %d: mismatch at k=%d", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionSizes(t *testing.T) {
+	// The reductions are polynomial: |Vs| and |Es| are linear/quadratic in
+	// |V| as stated in the proofs.
+	g := core.NewUndirectedGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	tight := core.ReduceCliqueToTight(g)
+	if tight.NumTypes() != 5 || tight.NumRelTypes() != 2 {
+		t.Errorf("tight reduction sizes = (%d, %d), want (5, 2)", tight.NumTypes(), tight.NumRelTypes())
+	}
+	diverse := core.ReduceCliqueToDiverse(g)
+	// 5 hub edges + complement of 2 edges among C(5,2)=10 pairs = 8.
+	if diverse.NumTypes() != 6 || diverse.NumRelTypes() != 5+8 {
+		t.Errorf("diverse reduction sizes = (%d, %d), want (6, 13)", diverse.NumTypes(), diverse.NumRelTypes())
+	}
+}
+
+func TestSelfLoopIgnoredInUndirected(t *testing.T) {
+	g := core.NewUndirectedGraph(2)
+	g.AddEdge(0, 0) // no-op
+	if g.Adj[0][0] {
+		t.Error("self loop must be ignored")
+	}
+}

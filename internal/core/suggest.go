@@ -1,0 +1,89 @@
+package core
+
+// Parameter suggestion — the paper's future-work items 1 and 4 (Sec. 8):
+// "Guidelines and automatic techniques for choosing between tight and
+// diverse previews" and "Suggesting values of various parameters, including
+// N, K and distance constraints".
+
+import "github.com/uta-db/previewtables/internal/graph"
+
+// SuggestSize derives a size constraint (k, n) from a display budget
+// expressed in table cells (columns × visible rows are the caller's
+// concern; the budget counts attribute columns including keys). The
+// heuristic splits the budget so that tables average three non-key
+// attributes — the width of the Freebase gold-standard tables (Table 10) —
+// and clamps to the schema's capacity.
+func SuggestSize(s *graph.Schema, budgetCells int) Constraint {
+	if budgetCells < 2 {
+		budgetCells = 2
+	}
+	// Each table costs 1 key column + avg 3 non-key columns.
+	k := budgetCells / 4
+	if k < 1 {
+		k = 1
+	}
+	// Count usable types (those with at least one incident relationship).
+	var usable int
+	for t := 0; t < s.NumTypes(); t++ {
+		if len(s.Incident(graph.TypeID(t))) > 0 {
+			usable++
+		}
+	}
+	if usable == 0 {
+		return Constraint{K: 0, N: 0}
+	}
+	if k > usable {
+		k = usable
+	}
+	n := budgetCells - k
+	if n < k {
+		n = k
+	}
+	return Constraint{K: k, N: n, Mode: Concise}
+}
+
+// DistanceSuggestion is the output of SuggestDistanceMode: a recommended
+// tight bound and diverse bound, plus which of the two spaces the heuristic
+// prefers for the given schema.
+type DistanceSuggestion struct {
+	Preferred Mode // Tight or Diverse
+	TightD    int  // recommended d for tight previews
+	DiverseD  int  // recommended d for diverse previews
+}
+
+// SuggestDistanceMode inspects the schema's distance structure and proposes
+// distance constraints (future work item 1). The heuristics follow the
+// paper's observations in Sec. 6.2: a tight bound larger than the average
+// path length makes "most previews tight" and is useless, so the tight
+// bound is capped below the average path length; the diverse bound sits
+// between the average and the diameter so the space is non-empty but
+// meaningfully spread. Hub-dominated schemas (small average distance
+// relative to size, like Freebase domains) favor Tight — their importance
+// mass is concentrated around hubs; sparse elongated schemas favor Diverse.
+func SuggestDistanceMode(s *graph.Schema) DistanceSuggestion {
+	m := s.AllDistances()
+	diam, avg := m.Diameter()
+
+	tightD := int(avg)
+	if tightD < 1 {
+		tightD = 1
+	}
+	if tightD >= diam && diam > 1 {
+		tightD = diam - 1
+	}
+	diverseD := int(avg) + 1
+	if diverseD <= tightD {
+		diverseD = tightD + 1
+	}
+	if diverseD > diam && diam > 0 {
+		diverseD = diam
+	}
+
+	pref := Tight
+	// Elongated schema: diameter much larger than average path length means
+	// distant clusters of concepts that a diverse preview surfaces better.
+	if diam >= 2*int(avg)+2 {
+		pref = Diverse
+	}
+	return DistanceSuggestion{Preferred: pref, TightD: tightD, DiverseD: diverseD}
+}

@@ -1,0 +1,126 @@
+package core
+
+// Tuple materialization. A preview table conceptually has one tuple per
+// entity of its key type (Definition 1); for display the paper "shows a few
+// randomly sampled tuples in each preview table", leaving representative
+// selection to future work. Both samplers are provided here: the paper's
+// random sampling, and a coverage-greedy representative selection
+// implementing that future-work item.
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+// Tuple is one materialized row of a preview table: the key entity and,
+// aligned with the table's NonKeys, the (possibly empty, possibly
+// multi-valued) sets of related entities.
+type Tuple struct {
+	Key    graph.EntityID
+	Values [][]graph.EntityID
+}
+
+// Materialize builds the tuple for entity e in table t.
+func Materialize(g *graph.EntityGraph, t *Table, e graph.EntityID) Tuple {
+	tu := Tuple{Key: e, Values: make([][]graph.EntityID, len(t.NonKeys))}
+	for i, c := range t.NonKeys {
+		tu.Values[i] = g.Neighbors(e, c.Inc.Rel, c.Inc.Outgoing)
+	}
+	return tu
+}
+
+// MaterializeAll builds every tuple of table t, in key-entity order. The
+// tuple count equals the number of entities of the key type.
+func MaterializeAll(g *graph.EntityGraph, t *Table) []Tuple {
+	ents := g.EntitiesOfType(t.Key)
+	tuples := make([]Tuple, len(ents))
+	for i, e := range ents {
+		tuples[i] = Materialize(g, t, e)
+	}
+	return tuples
+}
+
+// SampleRandom materializes up to count tuples of table t chosen uniformly
+// at random without replacement — the paper's display strategy. The order
+// of the sample follows key-entity order for stable rendering.
+func SampleRandom(g *graph.EntityGraph, t *Table, count int, rng *rand.Rand) []Tuple {
+	ents := g.EntitiesOfType(t.Key)
+	if count >= len(ents) {
+		return MaterializeAll(g, t)
+	}
+	idx := rng.Perm(len(ents))[:count]
+	sort.Ints(idx)
+	tuples := make([]Tuple, count)
+	for i, j := range idx {
+		tuples[i] = Materialize(g, t, ents[j])
+	}
+	return tuples
+}
+
+// nonEmptyCells counts the non-empty non-key values of a tuple.
+func nonEmptyCells(tu Tuple) int {
+	var n int
+	for _, v := range tu.Values {
+		if len(v) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SampleRepresentative materializes up to count tuples chosen greedily to
+// showcase the table (future work item 2 of Sec. 8): each pick maximizes
+// the number of attribute values not yet exhibited by earlier picks,
+// breaking ties toward tuples with more non-empty cells and then toward
+// earlier entities for determinism. The result is in key-entity order.
+func SampleRepresentative(g *graph.EntityGraph, t *Table, count int) []Tuple {
+	all := MaterializeAll(g, t)
+	if count >= len(all) {
+		return all
+	}
+	type seenKey struct {
+		attr int
+		ent  graph.EntityID
+	}
+	seen := make(map[seenKey]bool)
+	chosen := make([]bool, len(all))
+	order := make([]int, 0, count)
+	for len(order) < count {
+		best, bestNovel, bestCells := -1, -1, -1
+		for i := range all {
+			if chosen[i] {
+				continue
+			}
+			var novel int
+			for a, vals := range all[i].Values {
+				for _, v := range vals {
+					if !seen[seenKey{a, v}] {
+						novel++
+					}
+				}
+			}
+			cells := nonEmptyCells(all[i])
+			if novel > bestNovel || (novel == bestNovel && cells > bestCells) {
+				best, bestNovel, bestCells = i, novel, cells
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		order = append(order, best)
+		for a, vals := range all[best].Values {
+			for _, v := range vals {
+				seen[seenKey{a, v}] = true
+			}
+		}
+	}
+	sort.Ints(order)
+	tuples := make([]Tuple, len(order))
+	for i, j := range order {
+		tuples[i] = all[j]
+	}
+	return tuples
+}

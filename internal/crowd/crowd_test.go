@@ -1,0 +1,127 @@
+package crowd_test
+
+import (
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/crowd"
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+func TestLatentImportance(t *testing.T) {
+	g := fig1.Graph()
+	latent := crowd.LatentImportance(g, []string{fig1.Film})
+	film, _ := g.TypeByName(fig1.Film)
+	producer, _ := g.TypeByName(fig1.FilmProducer)
+	if latent[film] <= latent[producer] {
+		t.Errorf("FILM latent (%v) should exceed FILM PRODUCER (%v): larger and gold",
+			latent[film], latent[producer])
+	}
+	// The gold bonus matters: a gold type beats an equal-coverage non-gold.
+	latent2 := crowd.LatentImportance(g, []string{fig1.FilmActor})
+	actor, _ := g.TypeByName(fig1.FilmActor)
+	genre, _ := g.TypeByName(fig1.FilmGenre)
+	if latent2[actor] <= latent2[genre] {
+		t.Error("gold bonus should break the FILM ACTOR / FILM GENRE coverage tie")
+	}
+}
+
+func TestCollectShape(t *testing.T) {
+	latent := []float64{3, 2, 1, 0.5}
+	cfg := crowd.Config{Pairs: 40, WorkersPerPair: 20, Seed: 7}
+	o, err := crowd.Collect(latent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Pairs) != 40 || len(o.Votes) != 40 {
+		t.Fatalf("pairs = %d, votes = %d", len(o.Pairs), len(o.Votes))
+	}
+	for i := range o.Pairs {
+		if o.Pairs[i][0] == o.Pairs[i][1] {
+			t.Error("pair of identical types")
+		}
+		total := o.Votes[i][0] + o.Votes[i][1]
+		if total > 20 {
+			t.Errorf("votes %d exceed worker count", total)
+		}
+		if total == 0 {
+			t.Error("no valid workers at pass rate 0.85 across 20 workers is implausible")
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	latent := []float64{1, 2, 3}
+	a, err := crowd.Collect(latent, crowd.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := crowd.Collect(latent, crowd.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] || a.Votes[i] != b.Votes[i] {
+			t.Fatal("same seed, different opinions")
+		}
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	if _, err := crowd.Collect([]float64{1}, crowd.Config{}); err == nil {
+		t.Error("single type should fail")
+	}
+}
+
+func TestPCCGoodMeasureBeatsBadMeasure(t *testing.T) {
+	// A ranking aligned with the latent signal must out-correlate a
+	// reversed ranking, and the reversed one must be negative.
+	n := 12
+	latent := make([]float64, n)
+	good := make([]graph.TypeID, n)
+	bad := make([]graph.TypeID, n)
+	for i := 0; i < n; i++ {
+		latent[i] = float64(n - i)
+		good[i] = graph.TypeID(i)
+		bad[i] = graph.TypeID(n - 1 - i)
+	}
+	o, err := crowd.Collect(latent, crowd.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := o.PCC(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := o.PCC(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg <= 0.5 {
+		t.Errorf("aligned ranking PCC = %v, want strong positive", pg)
+	}
+	if pb >= -0.5 {
+		t.Errorf("reversed ranking PCC = %v, want strong negative", pb)
+	}
+	if pg <= pb {
+		t.Error("good measure should beat bad measure")
+	}
+}
+
+func TestEndToEndOnFig1(t *testing.T) {
+	g := fig1.Graph()
+	latent := crowd.LatentImportance(g, []string{fig1.Film, fig1.FilmActor})
+	o, err := crowd.Collect(latent, crowd.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := score.Compute(g, score.DefaultWalkOptions())
+	pcc, err := o.PCC(set.RankKeys(score.KeyCoverage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcc <= 0 {
+		t.Errorf("coverage ranking PCC on fig1 = %v, want positive", pcc)
+	}
+}

@@ -1,0 +1,135 @@
+// Package eval implements the information-retrieval quality metrics used in
+// Sec. 6.1 of the paper to compare scoring-measure rankings against gold
+// standards: Precision-at-K, Average Precision, normalized Discounted
+// Cumulative Gain, and Mean Reciprocal Rank, plus the "Optimal P@K" upper
+// bound curve drawn in Figs. 5–7.
+package eval
+
+import "math"
+
+// Gold is the set of relevant items for one ranking task.
+type Gold map[string]bool
+
+// NewGold builds a gold set from item names.
+func NewGold(items ...string) Gold {
+	g := make(Gold, len(items))
+	for _, it := range items {
+		g[it] = true
+	}
+	return g
+}
+
+// PrecisionAtK returns the fraction of the top-k ranked items that are in
+// gold. If the ranking is shorter than k, the missing tail counts as
+// irrelevant (precision keeps k as its denominator, matching the paper's
+// fixed-x-axis plots).
+func PrecisionAtK(ranked []string, gold Gold, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	var hits int
+	for i := 0; i < k && i < len(ranked); i++ {
+		if gold[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// OptimalPrecisionAtK is the best possible P@K for a gold set of the given
+// size: min(|gold|, k)/k — the paper's topmost "Optimal P@K" curves.
+func OptimalPrecisionAtK(goldSize, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if goldSize > k {
+		goldSize = k
+	}
+	return float64(goldSize) / float64(k)
+}
+
+// AveragePrecision returns AvgP over the top-k results:
+// Σ_{i=1..k} P@i · rel_i / |gold| (Sec. 6.1.2).
+func AveragePrecision(ranked []string, gold Gold, k int) float64 {
+	if len(gold) == 0 || k <= 0 {
+		return 0
+	}
+	var sum float64
+	var hits int
+	for i := 0; i < k && i < len(ranked); i++ {
+		if gold[ranked[i]] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(gold))
+}
+
+// DCG returns the discounted cumulative gain of the top-k results with
+// binary relevance, using the paper's discount: rel1 + Σ_{i≥2} reli/log2(i).
+func DCG(ranked []string, gold Gold, k int) float64 {
+	var dcg float64
+	for i := 0; i < k && i < len(ranked); i++ {
+		if !gold[ranked[i]] {
+			continue
+		}
+		if i == 0 {
+			dcg++
+		} else {
+			dcg += 1 / math.Log2(float64(i+1))
+		}
+	}
+	return dcg
+}
+
+// IdealDCG returns the DCG of an ideal top-k ranking for a gold set of the
+// given size: the first min(k, size) positions are all relevant.
+func IdealDCG(goldSize, k int) float64 {
+	if goldSize > k {
+		goldSize = k
+	}
+	var dcg float64
+	for i := 0; i < goldSize; i++ {
+		if i == 0 {
+			dcg++
+		} else {
+			dcg += 1 / math.Log2(float64(i+1))
+		}
+	}
+	return dcg
+}
+
+// NDCG returns DCG normalized by the ideal DCG; 0 when the gold set is
+// empty.
+func NDCG(ranked []string, gold Gold, k int) float64 {
+	ideal := IdealDCG(len(gold), k)
+	if ideal == 0 {
+		return 0
+	}
+	return DCG(ranked, gold, k) / ideal
+}
+
+// ReciprocalRank returns 1/rank of the first gold item in the ranking, or 0
+// if none appears.
+func ReciprocalRank(ranked []string, gold Gold) float64 {
+	for i, item := range ranked {
+		if gold[item] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// MRR averages reciprocal ranks across ranking tasks (Sec. 6.1.2 uses it
+// for non-key attribute scoring, one task per entity type). Empty input
+// yields 0.
+func MRR(rrs []float64) float64 {
+	if len(rrs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rrs {
+		sum += r
+	}
+	return sum / float64(len(rrs))
+}

@@ -1,0 +1,129 @@
+package eval_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/eval"
+)
+
+const eps = 1e-9
+
+func TestPrecisionAtK(t *testing.T) {
+	gold := eval.NewGold("a", "b", "c")
+	ranked := []string{"a", "x", "b", "y", "z"}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1}, {2, 0.5}, {3, 2.0 / 3.0}, {5, 0.4}, {10, 0.2},
+	}
+	for _, c := range cases {
+		if got := eval.PrecisionAtK(ranked, gold, c.k); math.Abs(got-c.want) > eps {
+			t.Errorf("P@%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if eval.PrecisionAtK(ranked, gold, 0) != 0 {
+		t.Error("P@0 should be 0")
+	}
+}
+
+func TestOptimalPrecisionAtK(t *testing.T) {
+	// Paper: "P@10 can be at most 0.6, since there are only 6 gold standard
+	// key attributes".
+	if got := eval.OptimalPrecisionAtK(6, 10); math.Abs(got-0.6) > eps {
+		t.Errorf("optimal P@10 with 6 gold = %v, want 0.6", got)
+	}
+	if got := eval.OptimalPrecisionAtK(6, 3); got != 1 {
+		t.Errorf("optimal P@3 with 6 gold = %v, want 1", got)
+	}
+	if eval.OptimalPrecisionAtK(6, 0) != 0 {
+		t.Error("optimal P@0 should be 0")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	gold := eval.NewGold("a", "b")
+	// Ranking: a, x, b → AvgP@3 = (1/1 + 2/3)/2 = 5/6.
+	got := eval.AveragePrecision([]string{"a", "x", "b"}, gold, 3)
+	if want := 5.0 / 6.0; math.Abs(got-want) > eps {
+		t.Errorf("AvgP = %v, want %v", got, want)
+	}
+	// Perfect ranking: AvgP = 1.
+	if got := eval.AveragePrecision([]string{"a", "b"}, gold, 2); math.Abs(got-1) > eps {
+		t.Errorf("perfect AvgP = %v, want 1", got)
+	}
+	// No relevant results: 0.
+	if got := eval.AveragePrecision([]string{"x", "y"}, gold, 2); got != 0 {
+		t.Errorf("irrelevant AvgP = %v, want 0", got)
+	}
+	if eval.AveragePrecision([]string{"a"}, eval.NewGold(), 1) != 0 {
+		t.Error("empty gold should yield 0")
+	}
+}
+
+func TestDCGAndNDCG(t *testing.T) {
+	gold := eval.NewGold("a", "b")
+	// Ranking: a, x, b → DCG = 1 + 1/log2(3).
+	got := eval.DCG([]string{"a", "x", "b"}, gold, 3)
+	want := 1 + 1/math.Log2(3)
+	if math.Abs(got-want) > eps {
+		t.Errorf("DCG = %v, want %v", got, want)
+	}
+	// Ideal: 1 + 1/log2(2) = 2.
+	if ideal := eval.IdealDCG(2, 3); math.Abs(ideal-2) > eps {
+		t.Errorf("IDCG = %v, want 2", ideal)
+	}
+	if ndcg := eval.NDCG([]string{"a", "x", "b"}, gold, 3); math.Abs(ndcg-want/2) > eps {
+		t.Errorf("nDCG = %v, want %v", ndcg, want/2)
+	}
+	// Perfect ranking has nDCG 1.
+	if ndcg := eval.NDCG([]string{"a", "b", "x"}, gold, 3); math.Abs(ndcg-1) > eps {
+		t.Errorf("perfect nDCG = %v, want 1", ndcg)
+	}
+	if eval.NDCG([]string{"a"}, eval.NewGold(), 1) != 0 {
+		t.Error("empty gold nDCG should be 0")
+	}
+}
+
+func TestNDCGPenalizesLowRank(t *testing.T) {
+	gold := eval.NewGold("a")
+	high := eval.NDCG([]string{"a", "x", "y"}, gold, 3)
+	low := eval.NDCG([]string{"x", "y", "a"}, gold, 3)
+	if high <= low {
+		t.Errorf("nDCG should penalize low ranks: high=%v low=%v", high, low)
+	}
+}
+
+func TestReciprocalRankAndMRR(t *testing.T) {
+	gold := eval.NewGold("b")
+	if rr := eval.ReciprocalRank([]string{"a", "b", "c"}, gold); math.Abs(rr-0.5) > eps {
+		t.Errorf("RR = %v, want 0.5", rr)
+	}
+	if rr := eval.ReciprocalRank([]string{"x", "y"}, gold); rr != 0 {
+		t.Errorf("absent RR = %v, want 0", rr)
+	}
+	if m := eval.MRR([]float64{1, 0.5, 0.25}); math.Abs(m-7.0/12.0) > eps {
+		t.Errorf("MRR = %v, want 7/12", m)
+	}
+	if eval.MRR(nil) != 0 {
+		t.Error("empty MRR should be 0")
+	}
+}
+
+func TestMetricsMonotoneInRankQuality(t *testing.T) {
+	// Moving a relevant item up never hurts any metric.
+	gold := eval.NewGold("a", "b", "c")
+	better := []string{"a", "b", "x", "c", "y"}
+	worse := []string{"a", "x", "b", "y", "c"}
+	k := 5
+	if eval.PrecisionAtK(better, gold, k) < eval.PrecisionAtK(worse, gold, k) {
+		t.Error("P@K decreased for a better ranking")
+	}
+	if eval.AveragePrecision(better, gold, k) <= eval.AveragePrecision(worse, gold, k) {
+		t.Error("AvgP should strictly improve")
+	}
+	if eval.NDCG(better, gold, k) <= eval.NDCG(worse, gold, k) {
+		t.Error("nDCG should strictly improve")
+	}
+}

@@ -1,0 +1,357 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/experiments"
+	"github.com/uta-db/previewtables/internal/freebase"
+)
+
+// testRunner builds a Runner at tiny scale so every experiment is fast.
+func testRunner() *experiments.Runner {
+	return experiments.New(experiments.Config{
+		Gen:                 freebase.GenOptions{Scale: 1e-4, Seed: 11, MinEntities: 400, MinEdges: 1600},
+		Seed:                11,
+		Repeats:             1,
+		BFSubsetCap:         2e5,
+		AprioriCandidateCap: 2e5,
+	})
+}
+
+func TestTable2(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 domains", len(tab.Rows))
+	}
+	// Schema sizes must match the paper exactly: "2 / 63" appears in the
+	// generated column of the film row.
+	var filmRow []string
+	for _, row := range tab.Rows {
+		if row[0] == "film" {
+			filmRow = row
+		}
+	}
+	if filmRow == nil || !strings.HasSuffix(filmRow[3], "/ 63") {
+		t.Errorf("film generated vertex column = %v", filmRow)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 gold domains", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		evaluated, err := strconv.Atoi(row[5])
+		if err != nil || evaluated < 1 {
+			t.Errorf("%s: evaluated types = %q, want ≥ 1", row[0], row[5])
+		}
+		mrr, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || mrr < 0 || mrr > 1 {
+			t.Errorf("%s: coverage MRR = %q out of range", row[0], row[1])
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []int{1, 3, 5, 7, 9} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v < -1 || v > 1 {
+				t.Errorf("%s col %d: PCC %q out of [-1,1]", row[0], col, row[col])
+			}
+		}
+		// Our measures should positively correlate with the simulated crowd.
+		cov, _ := strconv.ParseFloat(row[3], 64)
+		walk, _ := strconv.ParseFloat(row[5], 64)
+		if cov <= 0 || walk <= 0 {
+			t.Errorf("%s: coverage/walk PCC = %v/%v, want positive", row[0], cov, walk)
+		}
+	}
+}
+
+func TestFigures5to7(t *testing.T) {
+	r := testRunner()
+	for _, mk := range []func() (*experiments.Figure, error){r.Figure5, r.Figure6, r.Figure7} {
+		fig, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Panels) != 5 {
+			t.Fatalf("%s panels = %d, want 5", fig.ID, len(fig.Panels))
+		}
+		for _, p := range fig.Panels {
+			if len(p.Series) != 4 {
+				t.Fatalf("%s %s series = %d, want 4", fig.ID, p.Title, len(p.Series))
+			}
+			for _, s := range p.Series {
+				if len(s.X) != 20 {
+					t.Errorf("%s %s %s: points = %d, want 20", fig.ID, p.Title, s.Name, len(s.X))
+				}
+				for i, y := range s.Y {
+					if y < 0 || y > 1 {
+						t.Errorf("%s %s %s: y[%d] = %v out of [0,1]", fig.ID, p.Title, s.Name, i, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFigure5OptimalDominates(t *testing.T) {
+	r := testRunner()
+	fig, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Panels {
+		var optimal []float64
+		for _, s := range p.Series {
+			if s.Name == "Optimal" {
+				optimal = s.Y
+			}
+		}
+		for _, s := range p.Series {
+			if s.Name == "Optimal" {
+				continue
+			}
+			for i := range s.Y {
+				if s.Y[i] > optimal[i]+1e-9 {
+					t.Errorf("%s: %s exceeds optimal at K=%d", p.Title, s.Name, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	r := testRunner()
+	fig, err := r.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 3 {
+		t.Fatalf("panels = %d, want 3", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if len(p.Series) != 2 {
+			t.Fatalf("%s: series = %d, want 2 (BF, DP)", p.Title, len(p.Series))
+		}
+		for _, s := range p.Series {
+			for i, y := range s.Y {
+				if y < 0 {
+					t.Errorf("%s %s: negative time at %d", p.Title, s.Name, i)
+				}
+			}
+		}
+	}
+	// The k sweep's largest point must show brute force far above DP.
+	kPanel := fig.Panels[1]
+	bf := kPanel.Series[0].Y
+	dp := kPanel.Series[1].Y
+	if bf[len(bf)-1] < 100*maxF(dp[len(dp)-1], 0.01) {
+		t.Errorf("at k=9 brute force (%v ms) should dwarf DP (%v ms)", bf[len(bf)-1], dp[len(dp)-1])
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestFigure9(t *testing.T) {
+	r := testRunner()
+	fig, err := r.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 8 {
+		t.Fatalf("panels = %d, want 8 (4 tight + 4 diverse)", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if len(p.Series) != 2 {
+			t.Fatalf("%s: series = %d, want 2 (BF, Apriori)", p.Title, len(p.Series))
+		}
+	}
+}
+
+func TestUserStudyTables(t *testing.T) {
+	r := testRunner()
+	t5, err := r.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 7 {
+		t.Errorf("table5 rows = %d, want 7 approaches", len(t5.Rows))
+	}
+	t6, err := r.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 5 {
+		t.Errorf("table6 rows = %d, want 5 domains", len(t6.Rows))
+	}
+	for _, row := range t6.Rows {
+		if len(row) != 8 {
+			t.Errorf("table6 row %s has %d entries, want 8", row[0], len(row))
+		}
+	}
+	t7, err := r.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 6 {
+		t.Errorf("table7 rows = %d, want 6", len(t7.Rows))
+	}
+	for _, domain := range freebase.GoldDomains() {
+		if _, err := r.PairwiseZ(domain); err != nil {
+			t.Errorf("PairwiseZ(%s): %v", domain, err)
+		}
+		box, err := r.TimeBoxplots(domain)
+		if err != nil {
+			t.Errorf("TimeBoxplots(%s): %v", domain, err)
+			continue
+		}
+		if len(box.Rows) != 7 {
+			t.Errorf("boxplot rows = %d, want 7", len(box.Rows))
+		}
+	}
+}
+
+func TestLikertTables(t *testing.T) {
+	r := testRunner()
+	t8, err := r.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 4 {
+		t.Errorf("table8 rows = %d, want 4 questions", len(t8.Rows))
+	}
+	t9, err := r.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Rows) != 4 {
+		t.Errorf("table9 rows = %d, want 4", len(t9.Rows))
+	}
+	for _, domain := range freebase.GoldDomains() {
+		lt, err := r.Likert(domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lt.Rows) != 7 {
+			t.Errorf("likert %s rows = %d, want 7", domain, len(lt.Rows))
+		}
+	}
+	if _, err := r.Likert("cooking"); err == nil {
+		t.Error("unknown domain should fail")
+	}
+}
+
+func TestSamplePreviewTables(t *testing.T) {
+	r := testRunner()
+	t11, err := r.Table11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11.Rows) != 15 {
+		t.Errorf("table11 rows = %d, want 15 (3 configs × 5 tables)", len(t11.Rows))
+	}
+	t12, err := r.Table12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t12.Rows) != 10 {
+		t.Errorf("table12 rows = %d, want 10 (tight 5 + diverse 5)", len(t12.Rows))
+	}
+	// Qualitative claim: diverse keys sit farther apart than tight keys.
+	if len(t12.Notes) != 2 {
+		t.Fatalf("table12 notes = %v", t12.Notes)
+	}
+	var tightAvg, diverseAvg float64
+	if _, err := stringsSscanf(t12.Notes[0], &tightAvg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stringsSscanf(t12.Notes[1], &diverseAvg); err != nil {
+		t.Fatal(err)
+	}
+	if diverseAvg <= tightAvg {
+		t.Errorf("diverse avg distance (%v) should exceed tight (%v)", diverseAvg, tightAvg)
+	}
+}
+
+// stringsSscanf pulls the trailing float out of a note line.
+func stringsSscanf(note string, out *float64) (int, error) {
+	idx := strings.LastIndex(note, " ")
+	v, err := strconv.ParseFloat(note[idx+1:], 64)
+	if err != nil {
+		return 0, err
+	}
+	*out = v
+	return 1, nil
+}
+
+func TestGoldStandardTables(t *testing.T) {
+	r := testRunner()
+	t10, err := r.Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 30 {
+		t.Errorf("table10 rows = %d, want 30 (5 domains × 6 keys)", len(t10.Rows))
+	}
+	t22, err := r.Tables22and23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t22.Rows) != 10 {
+		t.Errorf("tables22-23 rows = %d, want 10", len(t22.Rows))
+	}
+}
+
+func TestRendering(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== table2:") {
+		t.Error("table header missing")
+	}
+	fig, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := fig.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== fig5:") || !strings.Contains(buf.String(), "Coverage:") {
+		t.Errorf("figure rendering malformed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,413 @@
+package experiments
+
+// Scoring-accuracy experiments: Table 2 (dataset sizes), Table 3 (MRR of
+// non-key scoring), Table 4 (crowd PCC), Figures 5–7 (P@K / AvgP / nDCG of
+// key scoring), Table 10 and Tables 22–23 (gold standards).
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uta-db/previewtables/internal/crowd"
+	"github.com/uta-db/previewtables/internal/eval"
+	"github.com/uta-db/previewtables/internal/freebase"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+// Table2 reports entity/schema graph sizes per domain: the paper's numbers
+// and the generated substitute's.
+func (r *Runner) Table2() (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Sizes of entity/schema graphs (paper vs generated)",
+		Header: []string{"Domain", "paper |Vd|/|Vs|", "paper |Ed|/|Es|", "generated |Vd|/|Vs|", "generated |Ed|/|Es|"},
+		Notes: []string{
+			"generated sizes are the paper's scaled by GenOptions.Scale; schema sizes match exactly",
+		},
+	}
+	for _, domain := range freebase.Domains() {
+		g, err := r.Graph(domain)
+		if err != nil {
+			return nil, err
+		}
+		st := g.Stats()
+		pv, pe, _ := freebase.PaperGraphSize(domain)
+		pk, pn, _ := freebase.PaperSchemaSize(domain)
+		t.Rows = append(t.Rows, []string{
+			domain,
+			fmt.Sprintf("%d / %d", pv, pk),
+			fmt.Sprintf("%d / %d", pe, pn),
+			fmt.Sprintf("%d / %d", st.Entities, st.Types),
+			fmt.Sprintf("%d / %d", st.Edges, st.RelTypes),
+		})
+	}
+	return t, nil
+}
+
+// paperTable3 holds the paper-reported MRR values for reference columns.
+var paperTable3 = map[string][2]float64{
+	"books":  {0.8, 0.786},
+	"film":   {0.2, 0.25},
+	"music":  {0.528, 0.589},
+	"tv":     {0.622, 0.379},
+	"people": {0.708, 0.606},
+}
+
+// MinCandidatesForMRR is the paper's rule: entity types with fewer than 5
+// candidate non-key attributes are excluded from the MRR evaluation because
+// the gold answers would rank deceptively high.
+const MinCandidatesForMRR = 5
+
+// Table3 evaluates non-key attribute scoring by Mean Reciprocal Rank
+// against the Table 10 gold standard, per domain and measure.
+func (r *Runner) Table3() (*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "MRR of non-key attribute scoring",
+		Header: []string{"Domain", "Coverage", "paper", "Entropy", "paper", "types evaluated"},
+		Notes: []string{
+			fmt.Sprintf("gold types with fewer than %d candidate non-key attributes excluded (paper's rule)", MinCandidatesForMRR),
+		},
+	}
+	for _, domain := range freebase.GoldDomains() {
+		g, err := r.Graph(domain)
+		if err != nil {
+			return nil, err
+		}
+		set, err := r.Scores(domain)
+		if err != nil {
+			return nil, err
+		}
+		covRRs, entRRs, evaluated := nonKeyRRs(g, set, domain)
+		paper := paperTable3[domain]
+		t.Rows = append(t.Rows, []string{
+			domain,
+			f3(eval.MRR(covRRs)), f3(paper[0]),
+			f3(eval.MRR(entRRs)), f3(paper[1]),
+			fmt.Sprintf("%d", evaluated),
+		})
+	}
+	return t, nil
+}
+
+// nonKeyRRs computes, for every qualifying gold entity type of a domain,
+// the reciprocal rank of the first gold non-key attribute under both
+// measures.
+func nonKeyRRs(g *graph.EntityGraph, set *score.Set, domain string) (cov, ent []float64, evaluated int) {
+	s := set.Schema()
+	for _, key := range freebase.GoldKeys(domain) {
+		tid, ok := g.TypeByName(key)
+		if !ok {
+			continue
+		}
+		goldNames := freebase.GoldNonKeys(domain, key)
+		if len(goldNames) == 0 {
+			continue
+		}
+		if len(s.Incident(tid)) < MinCandidatesForMRR {
+			continue
+		}
+		gold := eval.NewGold(goldNames...)
+		rank := func(m score.NonKeyMeasure) float64 {
+			ranked := set.RankNonKeys(m, tid)
+			names := make([]string, len(ranked))
+			for i, c := range ranked {
+				names[i] = s.RelType(c.Inc.Rel).Name
+			}
+			return eval.ReciprocalRank(names, gold)
+		}
+		cov = append(cov, rank(score.NonKeyCoverage))
+		ent = append(ent, rank(score.NonKeyEntropy))
+		evaluated++
+	}
+	return cov, ent, evaluated
+}
+
+// paperTable4 holds the paper-reported PCC values: YPS09, key coverage,
+// key random walk, non-key coverage, non-key entropy.
+var paperTable4 = map[string][5]float64{
+	"books":  {0.4, 0.55, 0.43, 0.43, 0.43},
+	"film":   {-0.01, 0.48, 0.25, 0.35, 0.35},
+	"music":  {0.37, 0.33, 0.46, 0.42, 0.41},
+	"tv":     {0.37, 0.69, 0.65, 0.47, 0.47},
+	"people": {0.36, 0.31, 0.29, 0.43, 0.43},
+}
+
+// Table4 correlates scoring-measure rankings with simulated crowd
+// preferences (Pearson correlation, Sec. 6.1.3) for both key and non-key
+// attributes.
+func (r *Runner) Table4() (*Table, error) {
+	t := &Table{
+		ID:    "table4",
+		Title: "PCC of key and non-key attribute scoring vs crowd",
+		Header: []string{"Domain",
+			"YPS09", "paper", "Coverage", "paper", "RandomWalk", "paper",
+			"NK-Coverage", "paper", "NK-Entropy", "paper"},
+		Notes: []string{"50 pairs × 20 simulated workers per domain, logistic preference on latent importance"},
+	}
+	for di, domain := range freebase.GoldDomains() {
+		g, err := r.Graph(domain)
+		if err != nil {
+			return nil, err
+		}
+		set, err := r.Scores(domain)
+		if err != nil {
+			return nil, err
+		}
+		y, err := r.YPS09(domain)
+		if err != nil {
+			return nil, err
+		}
+		cfg := crowd.Config{Seed: r.cfg.Seed + int64(di)}
+
+		// Key attribute study.
+		latent := crowd.LatentImportance(g, freebase.GoldKeys(domain))
+		ops, err := crowd.Collect(latent, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pccYPS, err := ops.PCC(y.RankTables())
+		if err != nil {
+			return nil, err
+		}
+		pccCov, err := ops.PCC(set.RankKeys(score.KeyCoverage))
+		if err != nil {
+			return nil, err
+		}
+		pccWalk, err := ops.PCC(set.RankKeys(score.KeyRandomWalk))
+		if err != nil {
+			return nil, err
+		}
+
+		// Non-key attribute study: the "types" judged are (entity type,
+		// incidence) pairs flattened into one global candidate list.
+		nkLatent, nkCov, nkEnt := nonKeyPairStudy(g, set, domain)
+		nkOps, err := crowd.Collect(nkLatent, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pccNKCov, err := nkOps.PCC(nkCov)
+		if err != nil {
+			return nil, err
+		}
+		pccNKEnt, err := nkOps.PCC(nkEnt)
+		if err != nil {
+			return nil, err
+		}
+
+		paper := paperTable4[domain]
+		t.Rows = append(t.Rows, []string{
+			domain,
+			f2(pccYPS), f2(paper[0]),
+			f2(pccCov), f2(paper[1]),
+			f2(pccWalk), f2(paper[2]),
+			f2(pccNKCov), f2(paper[3]),
+			f2(pccNKEnt), f2(paper[4]),
+		})
+	}
+	return t, nil
+}
+
+// nonKeyPairStudy flattens every (gold type, candidate non-key) pair into a
+// pseudo-type list: latent importance per pair, plus the global rankings
+// induced by the coverage and entropy measures.
+func nonKeyPairStudy(g *graph.EntityGraph, set *score.Set, domain string) (latent []float64, covRank, entRank []graph.TypeID) {
+	s := set.Schema()
+	type pair struct {
+		t   graph.TypeID
+		i   int
+		cov float64
+		ent float64
+	}
+	var pairs []pair
+	goldKeys := freebase.GoldKeys(domain)
+	for _, key := range goldKeys {
+		tid, ok := g.TypeByName(key)
+		if !ok {
+			continue
+		}
+		goldNK := eval.NewGold(freebase.GoldNonKeys(domain, key)...)
+		for i, inc := range s.Incident(tid) {
+			p := pair{
+				t:   tid,
+				i:   i,
+				cov: set.NonKey(score.NonKeyCoverage, tid, i),
+				ent: set.NonKey(score.NonKeyEntropy, tid, i),
+			}
+			lat := math.Log10(1 + float64(s.RelType(inc.Rel).EdgeCount))
+			if goldNK[s.RelType(inc.Rel).Name] {
+				lat += 1.5
+			}
+			latent = append(latent, lat)
+			pairs = append(pairs, p)
+		}
+	}
+	covRank = rankPairs(pairs, func(p pair) float64 { return p.cov })
+	entRank = rankPairs(pairs, func(p pair) float64 { return p.ent })
+	return latent, covRank, entRank
+}
+
+// rankPairs sorts pair indexes (as pseudo TypeIDs into the latent slice) by
+// decreasing score.
+func rankPairs[T any](pairs []T, val func(T) float64) []graph.TypeID {
+	idx := make([]graph.TypeID, len(pairs))
+	for i := range idx {
+		idx[i] = graph.TypeID(i)
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && val(pairs[idx[j-1]]) < val(pairs[idx[j]]); j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+	return idx
+}
+
+// keyRankings assembles the ranked key-attribute name lists per measure for
+// one domain: coverage, random walk, YPS09.
+func (r *Runner) keyRankings(domain string) (cov, walk, yps []string, err error) {
+	g, err := r.Graph(domain)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	set, err := r.Scores(domain)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	y, err := r.YPS09(domain)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	toNames := func(ids []graph.TypeID) []string {
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = g.TypeName(id)
+		}
+		return names
+	}
+	return toNames(set.RankKeys(score.KeyCoverage)),
+		toNames(set.RankKeys(score.KeyRandomWalk)),
+		toNames(y.RankTables()), nil
+}
+
+// keyAccuracyFigure renders one of Figures 5–7: a panel per gold domain
+// with four curves over K = 1..20.
+func (r *Runner) keyAccuracyFigure(id, title, metric string,
+	f func(ranked []string, gold eval.Gold, k int) float64,
+	optimal func(goldSize, k int) float64) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title}
+	for _, domain := range freebase.GoldDomains() {
+		cov, walk, yps, err := r.keyRankings(domain)
+		if err != nil {
+			return nil, err
+		}
+		gold := eval.NewGold(freebase.GoldKeys(domain)...)
+		panel := Panel{Title: domain, XLabel: "K", YLabel: metric}
+		mk := func(name string, ranked []string) Series {
+			s := Series{Name: name}
+			for k := 1; k <= 20; k++ {
+				s.X = append(s.X, float64(k))
+				s.Y = append(s.Y, f(ranked, gold, k))
+			}
+			return s
+		}
+		panel.Series = append(panel.Series,
+			mk("Coverage", cov),
+			mk("Random Walk", walk),
+			mk("YPS09", yps))
+		if optimal != nil {
+			s := Series{Name: "Optimal"}
+			for k := 1; k <= 20; k++ {
+				s.X = append(s.X, float64(k))
+				s.Y = append(s.Y, optimal(len(gold), k))
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// Figure5 reproduces Precision-at-K of key attribute scoring.
+func (r *Runner) Figure5() (*Figure, error) {
+	return r.keyAccuracyFigure("fig5", "Precision-at-K of key attribute scoring", "P@K",
+		eval.PrecisionAtK, eval.OptimalPrecisionAtK)
+}
+
+// Figure6 reproduces Average Precision of key attribute scoring.
+func (r *Runner) Figure6() (*Figure, error) {
+	return r.keyAccuracyFigure("fig6", "Average precision of key attribute scoring", "AvgP",
+		eval.AveragePrecision, func(goldSize, k int) float64 {
+			// Ideal ranking has AvgP 1 once k ≥ goldSize, else k/goldSize.
+			if k >= goldSize {
+				return 1
+			}
+			return float64(k) / float64(goldSize)
+		})
+}
+
+// Figure7 reproduces nDCG of key attribute scoring. An ideal ranking has
+// nDCG exactly 1 at every K, so the optimal curve is constant.
+func (r *Runner) Figure7() (*Figure, error) {
+	return r.keyAccuracyFigure("fig7", "nDCG of key attribute scoring", "nDCG",
+		eval.NDCG, func(goldSize, k int) float64 { return 1 })
+}
+
+// Table10 dumps the embedded Freebase gold standard.
+func (r *Runner) Table10() (*Table, error) {
+	t := &Table{
+		ID:     "table10",
+		Title:  "Freebase gold standard (Table 10)",
+		Header: []string{"Domain", "Key attribute", "Non-key attributes"},
+	}
+	for _, domain := range freebase.GoldDomains() {
+		k, n := freebase.GoldSize(domain)
+		for i, key := range freebase.GoldKeys(domain) {
+			label := domain
+			if i > 0 {
+				label = ""
+			} else {
+				label = fmt.Sprintf("%s (k=%d, n=%d)", domain, k, n)
+			}
+			t.Rows = append(t.Rows, []string{
+				label, key, joinComma(freebase.GoldNonKeys(domain, key)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Tables22and23 evaluates the Freebase and Experts gold standards against
+// each other (appendix Tables 22 and 23).
+func (r *Runner) Tables22and23() (*Table, error) {
+	t := &Table{
+		ID:     "tables22-23",
+		Title:  "Cross precision between Freebase and Experts gold standards",
+		Header: []string{"Direction", "Domain", "P@1", "P@2", "P@3", "P@4", "P@5", "P@6"},
+	}
+	for _, domain := range freebase.GoldDomains() {
+		fb := freebase.GoldKeys(domain)
+		ex := freebase.ExpertKeys(domain)
+		row22 := []string{"Freebase vs Experts (T22)", domain}
+		row23 := []string{"Experts vs Freebase (T23)", domain}
+		exSet := eval.NewGold(ex...)
+		fbSet := eval.NewGold(fb...)
+		for k := 1; k <= 6; k++ {
+			row22 = append(row22, f3(eval.PrecisionAtK(fb, exSet, k)))
+			row23 = append(row23, f3(eval.PrecisionAtK(ex, fbSet, k)))
+		}
+		t.Rows = append(t.Rows, row22, row23)
+	}
+	return t, nil
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

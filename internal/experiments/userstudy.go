@@ -1,0 +1,243 @@
+package experiments
+
+// User study experiments (Sec. 6.3): Table 5 (sample sizes and conversion
+// rates), Table 6 (approaches by median existence-test time), Table 7 and
+// Tables 13–16 (pairwise z-tests per domain), Figures 10–14 (time-per-task
+// boxplots), Table 8 (questionnaire), Table 9 and Tables 17–21 (user
+// experience scores).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/uta-db/previewtables/internal/freebase"
+	"github.com/uta-db/previewtables/internal/stats"
+	"github.com/uta-db/previewtables/internal/study"
+)
+
+// Alpha is the significance level of the pairwise z-tests (Sec. 6.3.1).
+const Alpha = 0.1
+
+// Table5 reports per-approach sample sizes and conversion rates across the
+// five gold domains.
+func (r *Runner) Table5() (*Table, error) {
+	t := &Table{
+		ID:     "table5",
+		Title:  "Sample sizes and conversion rates for all approaches and domains",
+		Header: append([]string{"Approach"}, freebase.GoldDomains()...),
+	}
+	for _, a := range study.Approaches() {
+		row := []string{a.String()}
+		for _, domain := range freebase.GoldDomains() {
+			res, err := r.Study(domain)
+			if err != nil {
+				return nil, err
+			}
+			for _, ar := range res {
+				if ar.Approach == a {
+					row = append(row, fmt.Sprintf("n=%d c=%.3f", ar.Responses, ar.ConversionRate()))
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table6 sorts the approaches by median existence-test time per domain
+// (ascending — most convenient first).
+func (r *Runner) Table6() (*Table, error) {
+	t := &Table{
+		ID:     "table6",
+		Title:  "Approaches sorted ascending by median time on existence tests",
+		Header: []string{"Domain", "1", "2", "3", "4", "5", "6", "7"},
+	}
+	for _, domain := range freebase.GoldDomains() {
+		res, err := r.Study(domain)
+		if err != nil {
+			return nil, err
+		}
+		type med struct {
+			name string
+			m    float64
+		}
+		meds := make([]med, 0, len(res))
+		for _, ar := range res {
+			meds = append(meds, med{ar.Approach.String(), stats.Median(ar.Times)})
+		}
+		sort.Slice(meds, func(i, j int) bool { return meds[i].m < meds[j].m })
+		row := []string{domain}
+		for _, m := range meds {
+			row = append(row, m.name)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// PairwiseZ reproduces the pairwise conversion-rate comparison of one
+// domain (Table 7 for music, Tables 13–16 for the others): a two-proportion
+// one-tailed z-test per approach pair at α = 0.1.
+func (r *Runner) PairwiseZ(domain string) (*Table, error) {
+	res, err := r.Study(domain)
+	if err != nil {
+		return nil, err
+	}
+	byApproach := map[study.Approach]study.ApproachResult{}
+	for _, ar := range res {
+		byApproach[ar.Approach] = ar
+	}
+	approaches := study.Approaches()
+	header := []string{"vs"}
+	for _, a := range approaches[1:] {
+		header = append(header, a.String())
+	}
+	t := &Table{
+		ID:     "pairwise-z-" + domain,
+		Title:  fmt.Sprintf("Pairwise conversion-rate z-tests, domain=%q (α=%.1f)", domain, Alpha),
+		Header: header,
+		Notes: []string{
+			"cell: z-score / one-tailed p; '+' row approach significantly better, '-' significantly worse",
+		},
+	}
+	for i, rowA := range approaches[:len(approaches)-1] {
+		row := []string{rowA.String()}
+		for j, colA := range approaches {
+			if j <= i {
+				if j > 0 {
+					row = append(row, "")
+				}
+				continue
+			}
+			ra := byApproach[rowA]
+			rc := byApproach[colA]
+			// Following the paper's convention, the cell compares the
+			// column approach (A) against the row approach (B).
+			zt, err := stats.TwoProportionZTest(rc.Correct, rc.Responses, ra.Correct, ra.Responses, Alpha)
+			if err != nil {
+				return nil, err
+			}
+			mark := ""
+			if zt.Rejected {
+				if zt.Z < 0 {
+					mark = " +" // row better
+				} else {
+					mark = " -"
+				}
+			}
+			row = append(row, fmt.Sprintf("z=%.2f p=%.4f%s", zt.Z, zt.P, mark))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table7 is the pairwise z-test table for "music".
+func (r *Runner) Table7() (*Table, error) { return r.PairwiseZ("music") }
+
+// TimeBoxplots reproduces the time-per-task boxplots of Figures 10–14 as
+// five-number summaries per approach.
+func (r *Runner) TimeBoxplots(domain string) (*Table, error) {
+	res, err := r.Study(domain)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "time-boxplot-" + domain,
+		Title:  fmt.Sprintf("Time per existence-test task (s), domain=%q", domain),
+		Header: []string{"Approach", "min", "q1", "median", "q3", "max", "n"},
+	}
+	for _, ar := range res {
+		b, err := stats.NewBoxplot(ar.Times)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			ar.Approach.String(), f2(b.Min), f2(b.Q1), f2(b.Median), f2(b.Q3), f2(b.Max),
+			fmt.Sprintf("%d", b.N),
+		})
+	}
+	return t, nil
+}
+
+// Table8 reproduces the static user-experience questionnaire.
+func (r *Runner) Table8() (*Table, error) {
+	t := &Table{
+		ID:     "table8",
+		Title:  "User experience questionnaire (5-point Likert scale)",
+		Header: []string{"#", "Question"},
+	}
+	for i, q := range study.UserExperienceQuestions {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("Q%d", i+1), q})
+	}
+	return t, nil
+}
+
+// Likert reproduces one of Tables 17–21: simulated mean user experience
+// responses for a domain, next to the paper's reported means.
+func (r *Runner) Likert(domain string) (*Table, error) {
+	t := &Table{
+		ID:     "likert-" + domain,
+		Title:  fmt.Sprintf("User experience responses, domain=%q (simulated | paper)", domain),
+		Header: []string{"Approach", "Q1", "Q2", "Q3", "Q4"},
+	}
+	participants := study.DefaultParticipants()
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(len(domain))))
+	for _, a := range study.Approaches() {
+		sim, ok := study.SimulateLikert(domain, a, participants[a], rng)
+		if !ok {
+			return nil, fmt.Errorf("experiments: no Likert calibration for %q", domain)
+		}
+		paper, _ := study.PaperLikertMeans(domain, a)
+		row := []string{a.String()}
+		for q := 0; q < 4; q++ {
+			row = append(row, fmt.Sprintf("%.2f | %.2f", sim[q], paper[q]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table9 sorts approaches by mean simulated user-experience score across
+// all five domains, per question (descending).
+func (r *Runner) Table9() (*Table, error) {
+	t := &Table{
+		ID:     "table9",
+		Title:  "Approaches sorted descending by average user experience scores across domains",
+		Header: []string{"Question", "1", "2", "3", "4", "5", "6", "7"},
+	}
+	participants := study.DefaultParticipants()
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	sums := map[study.Approach][4]float64{}
+	for _, domain := range study.LikertDomains() {
+		for _, a := range study.Approaches() {
+			sim, ok := study.SimulateLikert(domain, a, participants[a], rng)
+			if !ok {
+				continue
+			}
+			cur := sums[a]
+			for q := 0; q < 4; q++ {
+				cur[q] += sim[q]
+			}
+			sums[a] = cur
+		}
+	}
+	for q := 0; q < 4; q++ {
+		type avg struct {
+			name string
+			v    float64
+		}
+		avgs := make([]avg, 0, 7)
+		for _, a := range study.Approaches() {
+			avgs = append(avgs, avg{a.String(), sums[a][q]})
+		}
+		sort.Slice(avgs, func(i, j int) bool { return avgs[i].v > avgs[j].v })
+		row := []string{fmt.Sprintf("Q%d", q+1)}
+		for _, a := range avgs {
+			row = append(row, a.name)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+// Package fig1 reconstructs the running example of the paper: the entity
+// graph excerpt of Figure 1, whose schema graph is Figure 3 and whose
+// 2-table preview is Figure 2. Every count in the package is pinned by a
+// number stated in the paper:
+//
+//   - Scov(FILM) = 4 (Sec. 3.2): four films.
+//   - Scov(Director) = 4 and Scov(Genres) = 5 (Sec. 3.3).
+//   - w(FILM, FILM GENRE)=5, w(FILM, FILM ACTOR)=6, w(FILM, FILM DIRECTOR)=4,
+//     w(FILM, FILM PRODUCER)=3 (the random-walk example: M = 5/18 and 3/18).
+//   - Two edges (Actor, Executive Producer) from Will Smith to I, Robot.
+//   - Will Smith bears both FILM ACTOR and FILM PRODUCER.
+//   - Award Winners appears as two distinct relationship types
+//     (FILM ACTOR→AWARD and FILM DIRECTOR→AWARD).
+//   - t3 (Hancock) has an empty Genres value; t1/t2 share {Action Film,
+//     Science Fiction}; t4 has {Action Film} (Fig. 2).
+//   - dist(FILM, FILM ACTOR)=1 and dist(FILM, AWARD)=2 (Sec. 4).
+//
+// Tests across the repository use this graph to verify the scoring measures
+// and discovery algorithms against the paper's worked results.
+package fig1
+
+import "github.com/uta-db/previewtables/internal/graph"
+
+// Entity type names of Figure 3.
+const (
+	Film         = "FILM"
+	FilmActor    = "FILM ACTOR"
+	FilmDirector = "FILM DIRECTOR"
+	FilmProducer = "FILM PRODUCER"
+	FilmGenre    = "FILM GENRE"
+	Award        = "AWARD"
+)
+
+// Relationship type surface names of Figure 3.
+const (
+	RelActor        = "Actor"
+	RelDirector     = "Director"
+	RelGenres       = "Genres"
+	RelProducer     = "Producer"
+	RelExecProducer = "Executive Producer"
+	RelAwardWinners = "Award Winners"
+)
+
+// Graph builds the Figure 1 entity graph. It panics on construction error
+// (the fixture is static); tests rely on it validating cleanly.
+func Graph() *graph.EntityGraph {
+	var b graph.Builder
+
+	film := b.Type(Film)
+	actor := b.Type(FilmActor)
+	director := b.Type(FilmDirector)
+	producer := b.Type(FilmProducer)
+	genre := b.Type(FilmGenre)
+	award := b.Type(Award)
+
+	rActor := b.RelType(RelActor, actor, film)
+	rDirector := b.RelType(RelDirector, director, film)
+	rGenres := b.RelType(RelGenres, film, genre)
+	rProducer := b.RelType(RelProducer, producer, film)
+	rExec := b.RelType(RelExecProducer, producer, film)
+	rAwardActor := b.RelType(RelAwardWinners, actor, award)
+	rAwardDirector := b.RelType(RelAwardWinners, director, award)
+
+	mib := b.Entity("Men in Black", film)
+	mib2 := b.Entity("Men in Black II", film)
+	hancock := b.Entity("Hancock", film)
+	irobot := b.Entity("I, Robot", film)
+
+	will := b.Entity("Will Smith", actor, producer)
+	tommy := b.Entity("Tommy Lee Jones", actor)
+
+	barry := b.Entity("Barry Sonnenfeld", director)
+	peter := b.Entity("Peter Berg", director)
+	alex := b.Entity("Alex Proyas", director)
+
+	action := b.Entity("Action Film", genre)
+	scifi := b.Entity("Science Fiction", genre)
+
+	saturn := b.Entity("Saturn Award", award)
+	academy := b.Entity("Academy Award", award)
+	razzie := b.Entity("Razzie Award", award)
+
+	// Actor: 6 edges, so w(FILM, FILM ACTOR) = 6.
+	b.Edge(will, mib, rActor)
+	b.Edge(will, mib2, rActor)
+	b.Edge(will, hancock, rActor)
+	b.Edge(will, irobot, rActor)
+	b.Edge(tommy, mib, rActor)
+	b.Edge(tommy, mib2, rActor)
+
+	// Director: 4 edges (Fig. 2: Barry×2, Peter, Alex).
+	b.Edge(barry, mib, rDirector)
+	b.Edge(barry, mib2, rDirector)
+	b.Edge(peter, hancock, rDirector)
+	b.Edge(alex, irobot, rDirector)
+
+	// Genres: 5 edges (Fig. 2 tuples; Hancock has none).
+	b.Edge(mib, action, rGenres)
+	b.Edge(mib, scifi, rGenres)
+	b.Edge(mib2, action, rGenres)
+	b.Edge(mib2, scifi, rGenres)
+	b.Edge(irobot, action, rGenres)
+
+	// Producer (2) + Executive Producer (1): w(FILM, FILM PRODUCER) = 3.
+	// The Executive Producer edge to I, Robot parallels Will Smith's Actor
+	// edge, making Gd a true multigraph (Sec. 2).
+	b.Edge(will, hancock, rProducer)
+	b.Edge(will, mib2, rProducer)
+	b.Edge(will, irobot, rExec)
+
+	// Award Winners: two relationship types sharing a surface name.
+	b.Edge(will, saturn, rAwardActor)
+	b.Edge(tommy, academy, rAwardActor)
+	b.Edge(barry, razzie, rAwardDirector)
+
+	g, err := b.Build()
+	if err != nil {
+		panic("fig1: " + err.Error())
+	}
+	return g
+}

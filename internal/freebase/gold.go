@@ -1,0 +1,76 @@
+package freebase
+
+// Gold standard accessors (Table 10 and Tables 22–23 of the paper).
+
+// GoldKeys returns the ordered Freebase gold-standard key attributes of a
+// gold domain (the six entity types of the domain's Freebase entrance page,
+// in Table 10 order), or nil for domains without a gold standard.
+func GoldKeys(domain string) []string {
+	spec, ok := Get(domain)
+	if !ok || spec.Gold == nil {
+		return nil
+	}
+	keys := make([]string, len(spec.Gold))
+	for i, g := range spec.Gold {
+		keys[i] = g.Key
+	}
+	return keys
+}
+
+// GoldNonKeys returns the gold-standard non-key attribute names of one
+// entity type in a domain (the type-dependent attributes of the Freebase
+// browse table for that type), or nil if the type has none.
+func GoldNonKeys(domain, typeName string) []string {
+	spec, ok := Get(domain)
+	if !ok {
+		return nil
+	}
+	for _, g := range spec.Gold {
+		if g.Key == typeName {
+			return append([]string(nil), g.NonKeys...)
+		}
+	}
+	return nil
+}
+
+// GoldSize returns the size constraint (k, n) of the domain's gold standard
+// — the values the user study's previews were generated under.
+func GoldSize(domain string) (k, n int) {
+	spec, ok := Get(domain)
+	if !ok || spec.Gold == nil {
+		return 0, 0
+	}
+	return len(spec.Gold), spec.GoldN
+}
+
+// ExpertKeys returns the hand-crafted experts' ranked key attributes for a
+// gold domain (nil otherwise). The lists are constructed so that evaluating
+// the Freebase ranking against the experts set — and vice versa — yields
+// exactly the precision values of Tables 22 and 23.
+func ExpertKeys(domain string) []string {
+	spec, ok := Get(domain)
+	if !ok || spec.ExpertKeys == nil {
+		return nil
+	}
+	return append([]string(nil), spec.ExpertKeys...)
+}
+
+// PaperSchemaSize returns the Table 2 schema graph size (entity types K,
+// relationship types N) of a domain.
+func PaperSchemaSize(domain string) (k, n int, ok bool) {
+	spec, found := Get(domain)
+	if !found {
+		return 0, 0, false
+	}
+	return spec.K, spec.N, true
+}
+
+// PaperGraphSize returns the Table 2 entity graph size (vertices, edges) of
+// a domain as reported in the paper.
+func PaperGraphSize(domain string) (vertices, edges int, ok bool) {
+	spec, found := Get(domain)
+	if !found {
+		return 0, 0, false
+	}
+	return spec.PaperVertices, spec.PaperEdges, true
+}

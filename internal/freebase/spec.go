@@ -1,0 +1,527 @@
+// Package freebase generates synthetic Freebase-like entity graphs for the
+// seven domains of the paper's evaluation (Table 2): books, film, music,
+// TV, people, basketball and architecture.
+//
+// The real experiments used a Freebase dump from 2012-09-28 that is no
+// longer distributed. This package substitutes it with deterministic,
+// seeded synthetic graphs that preserve what the algorithms actually
+// consume:
+//
+//   - the schema graph sizes of Table 2, exactly (K entity types, N
+//     relationship types per domain);
+//   - a hand-authored seed schema per domain containing every entity type
+//     and relationship named in the paper's gold standard (Table 10), its
+//     expert study (Tables 22–23) and its sample previews (Tables 11–12),
+//     padded with generic "topic" types to the Table 2 sizes;
+//   - heavy-tailed entity and relationship populations whose relative
+//     weights mirror Freebase (e.g. the recording/release/track triangle
+//     dominates "music"; episodes dominate "TV"), scaled to laptop size.
+//
+// Absolute sizes differ from the paper by the configurable scale factor;
+// relative shapes — which types are big, which relationship types are
+// heavy, how far apart concepts sit — are preserved, which is what the
+// scoring measures and discovery algorithms depend on.
+package freebase
+
+// TypeSpec declares one seed entity type of a domain.
+type TypeSpec struct {
+	Name string
+	// Weight is the type's share of the domain's entity budget, relative to
+	// the other types.
+	Weight float64
+	// SubsetOf optionally names another type whose entities this type
+	// reuses a prefix of (e.g. DECEASED PERSON ⊂ PERSON), producing
+	// multi-typed entities as in real Freebase.
+	SubsetOf string
+}
+
+// RelSpec declares one seed relationship type of a domain.
+type RelSpec struct {
+	Name     string
+	From, To string
+	// Weight is the relationship type's share of the domain's edge budget.
+	Weight float64
+}
+
+// GoldTable is one row group of Table 10: a gold-standard key attribute and
+// its gold non-key attributes (relationship surface names).
+type GoldTable struct {
+	Key     string
+	NonKeys []string
+}
+
+// Spec describes one domain: its paper-reported sizes, its seed schema and
+// its gold standards.
+type Spec struct {
+	Name string
+
+	// Paper-reported entity graph and schema graph sizes (Table 2).
+	PaperVertices, PaperEdges int
+	K, N                      int
+
+	Types []TypeSpec
+	Rels  []RelSpec
+
+	// Gold is the Freebase gold standard of Table 10 (nil for basketball
+	// and architecture, which the paper uses only in efficiency tests).
+	Gold []GoldTable
+	// GoldN is the total non-key budget n of the domain's gold standard.
+	GoldN int
+	// ExpertKeys is the hand-crafted experts' ranked key-attribute list,
+	// constructed so that the cross-precision between the Freebase and
+	// Experts gold standards reproduces Tables 22–23 exactly.
+	ExpertKeys []string
+}
+
+// Domains lists the seven evaluation domains in the paper's order.
+func Domains() []string {
+	return []string{"books", "film", "music", "tv", "people", "basketball", "architecture"}
+}
+
+// GoldDomains lists the five domains with Freebase gold standards.
+func GoldDomains() []string {
+	return []string{"books", "film", "music", "tv", "people"}
+}
+
+// Get returns the spec for a domain name, or false if unknown.
+func Get(name string) (*Spec, bool) {
+	s, ok := specs[name]
+	return s, ok
+}
+
+var specs = map[string]*Spec{
+	"books":        booksSpec,
+	"film":         filmSpec,
+	"music":        musicSpec,
+	"tv":           tvSpec,
+	"people":       peopleSpec,
+	"basketball":   basketballSpec,
+	"architecture": architectureSpec,
+}
+
+// ---------------------------------------------------------------------------
+// books: 6M / 91 vertices, 15M / 201 edges (Table 2). Gold k=6, n=15.
+
+var booksSpec = &Spec{
+	Name:          "books",
+	PaperVertices: 6_000_000, PaperEdges: 15_000_000,
+	K: 91, N: 201,
+	Types: []TypeSpec{
+		{Name: "BOOK", Weight: 1.0},
+		{Name: "BOOK EDITION", Weight: 1.6},
+		{Name: "SHORT STORY", Weight: 0.35},
+		{Name: "POEM", Weight: 0.28},
+		{Name: "SHORT NON-FICTION", Weight: 0.22},
+		{Name: "AUTHOR", Weight: 0.55},
+		{Name: "WRITTEN WORK", Weight: 0.45},
+		{Name: "BOOK CHARACTER", Weight: 0.15},
+		{Name: "LITERARY GENRE", Weight: 0.015},
+		{Name: "PUBLISHER", Weight: 0.06},
+		{Name: "PUBLICATION DATE", Weight: 0.12},
+		{Name: "BOOK SERIES", Weight: 0.05},
+		{Name: "POEM METER", Weight: 0.004},
+		{Name: "VERSE FORM", Weight: 0.004},
+		{Name: "WRITING MODE", Weight: 0.003},
+		{Name: "LITERARY SERIES", Weight: 0.02},
+		{Name: "TRANSLATION", Weight: 0.08},
+	},
+	Rels: []RelSpec{
+		{Name: "Characters", From: "BOOK", To: "BOOK CHARACTER", Weight: 0.5},
+		{Name: "Genre", From: "BOOK", To: "LITERARY GENRE", Weight: 0.9},
+		{Name: "Editions", From: "BOOK", To: "BOOK EDITION", Weight: 1.6},
+		{Name: "Publication Date", From: "BOOK EDITION", To: "PUBLICATION DATE", Weight: 1.5},
+		{Name: "Publisher", From: "BOOK EDITION", To: "PUBLISHER", Weight: 1.4},
+		{Name: "Credited To", From: "BOOK EDITION", To: "AUTHOR", Weight: 1.3},
+		{Name: "Genre", From: "SHORT STORY", To: "LITERARY GENRE", Weight: 0.10},
+		{Name: "Characters", From: "SHORT STORY", To: "BOOK CHARACTER", Weight: 0.06},
+		{Name: "Characters", From: "POEM", To: "BOOK CHARACTER", Weight: 0.03},
+		{Name: "Meter", From: "POEM", To: "POEM METER", Weight: 0.07},
+		{Name: "Verse Form", From: "POEM", To: "VERSE FORM", Weight: 0.06},
+		{Name: "Mode Of Writing", From: "SHORT NON-FICTION", To: "WRITING MODE", Weight: 0.06},
+		{Name: "Verse Form", From: "SHORT NON-FICTION", To: "VERSE FORM", Weight: 0.02},
+		{Name: "Series Written (Or Contributed To)", From: "AUTHOR", To: "BOOK SERIES", Weight: 0.12},
+		{Name: "Works Edited", From: "AUTHOR", To: "WRITTEN WORK", Weight: 0.25},
+		{Name: "Works Written", From: "AUTHOR", To: "WRITTEN WORK", Weight: 1.1},
+		{Name: "Editions Of This Series", From: "LITERARY SERIES", To: "BOOK EDITION", Weight: 0.05},
+		{Name: "Translations", From: "WRITTEN WORK", To: "TRANSLATION", Weight: 0.2},
+		{Name: "Subjects", From: "WRITTEN WORK", To: "BOOK CHARACTER", Weight: 0.08},
+		{Name: "Books In This Series", From: "BOOK SERIES", To: "BOOK", Weight: 0.09},
+	},
+	Gold: []GoldTable{
+		{Key: "BOOK", NonKeys: []string{"Characters", "Genre", "Editions"}},
+		{Key: "BOOK EDITION", NonKeys: []string{"Publication Date", "Publisher", "Credited To"}},
+		{Key: "SHORT STORY", NonKeys: []string{"Genre", "Characters"}},
+		{Key: "POEM", NonKeys: []string{"Characters", "Meter", "Verse Form"}},
+		{Key: "SHORT NON-FICTION", NonKeys: []string{"Mode Of Writing", "Verse Form"}},
+		{Key: "AUTHOR", NonKeys: []string{"Series Written (Or Contributed To)", "Works Edited", "Works Written"}},
+	},
+	GoldN: 15,
+	// Overlap with Freebase gold = {BOOK, AUTHOR} at expert positions 1–2
+	// (Tables 22–23: hits at Freebase positions 1 and 6).
+	ExpertKeys: []string{"BOOK", "AUTHOR", "PUBLISHER", "BOOK CHARACTER", "LITERARY GENRE", "BOOK SERIES"},
+}
+
+// ---------------------------------------------------------------------------
+// film: 2M / 63 vertices, 18M / 136 edges. Gold k=6, n=9.
+
+var filmSpec = &Spec{
+	Name:          "film",
+	PaperVertices: 2_000_000, PaperEdges: 18_000_000,
+	K: 63, N: 136,
+	Types: []TypeSpec{
+		// Table 11's concise preview (coverage) keys the five largest types:
+		// FILM CHARACTER, FILM ACTOR, FILM, FILM DIRECTOR, FILM CREWMEMBER.
+		{Name: "FILM", Weight: 1.0},
+		{Name: "FILM CHARACTER", Weight: 1.25},
+		{Name: "FILM ACTOR", Weight: 1.1},
+		{Name: "FILM DIRECTOR", Weight: 0.5},
+		{Name: "FILM CREWMEMBER", Weight: 0.45},
+		{Name: "FILM CUT", Weight: 0.25},
+		{Name: "FILM WRITER", Weight: 0.40},
+		{Name: "FILM PRODUCER", Weight: 0.35},
+		{Name: "FILM EDITOR", Weight: 0.18},
+		{Name: "PERSON OR ENTITY APPEARING IN FILM", Weight: 0.16},
+		{Name: "FILM GENRE", Weight: 0.010},
+		{Name: "FILM CREW ROLE", Weight: 0.008},
+		{Name: "COUNTRY", Weight: 0.006},
+		{Name: "HUMAN LANGUAGE", Weight: 0.006},
+		{Name: "TAGLINE", Weight: 0.10},
+		{Name: "RELEASE DATE", Weight: 0.08},
+		{Name: "FILM COMPANY", Weight: 0.05},
+		{Name: "FILM FESTIVAL", Weight: 0.02},
+		{Name: "FILM FESTIVAL EVENT", Weight: 0.06},
+		{Name: "FILM FESTIVAL FOCUS", Weight: 0.004},
+		{Name: "SPONSOR", Weight: 0.01},
+		{Name: "LOCATION", Weight: 0.03},
+		{Name: "TYPE OF APPEARANCE", Weight: 0.003},
+	},
+	Rels: []RelSpec{
+		{Name: "Directed By", From: "FILM", To: "FILM DIRECTOR", Weight: 0.55},
+		{Name: "Tagline", From: "FILM", To: "TAGLINE", Weight: 0.40},
+		{Name: "Initial Release Date", From: "FILM", To: "RELEASE DATE", Weight: 0.50},
+		{Name: "Performances", From: "FILM", To: "FILM CHARACTER", Weight: 2.4},
+		{Name: "Genres", From: "FILM", To: "FILM GENRE", Weight: 1.1},
+		{Name: "Runtime", From: "FILM", To: "FILM CUT", Weight: 0.9},
+		{Name: "Country of origin", From: "FILM", To: "COUNTRY", Weight: 0.8},
+		{Name: "Languages", From: "FILM", To: "HUMAN LANGUAGE", Weight: 0.7},
+		{Name: "Film performances", From: "FILM ACTOR", To: "FILM", Weight: 2.2},
+		{Name: "Films of this genre", From: "FILM GENRE", To: "FILM", Weight: 0.35},
+		{Name: "Films directed", From: "FILM DIRECTOR", To: "FILM", Weight: 0.5},
+		{Name: "Films Executive Produced", From: "FILM PRODUCER", To: "FILM", Weight: 0.22},
+		{Name: "Films Produced", From: "FILM PRODUCER", To: "FILM", Weight: 0.35},
+		{Name: "Film Writing Credits", From: "FILM WRITER", To: "FILM", Weight: 0.4},
+		{Name: "Films edited", From: "FILM EDITOR", To: "FILM", Weight: 0.25},
+		{Name: "Portrayed in films", From: "FILM CHARACTER", To: "FILM", Weight: 2.0},
+		{Name: "Portrayed in films (dubbed)", From: "FILM CHARACTER", To: "FILM", Weight: 0.15},
+		{Name: "Films crewed", From: "FILM CREWMEMBER", To: "FILM", Weight: 0.9},
+		{Name: "Crew role", From: "FILM CREWMEMBER", To: "FILM CREW ROLE", Weight: 0.5},
+		{Name: "Films appeared in", From: "PERSON OR ENTITY APPEARING IN FILM", To: "FILM", Weight: 0.4},
+		{Name: "Type of appearance", From: "PERSON OR ENTITY APPEARING IN FILM", To: "TYPE OF APPEARANCE", Weight: 0.15},
+		{Name: "Films", From: "FILM COMPANY", To: "FILM", Weight: 0.3},
+		// The festival cluster hangs off FILM via FILM FESTIVAL EVENT,
+		// putting FILM FESTIVAL at distance 2 from FILM and its satellites
+		// (LOCATION, FOCUS, SPONSOR) at distance 3 — the spread that makes
+		// diverse previews (Table 12, d=4) pick far-apart concepts.
+		{Name: "Films shown", From: "FILM FESTIVAL EVENT", To: "FILM", Weight: 0.12},
+		{Name: "Individual festivals", From: "FILM FESTIVAL", To: "FILM FESTIVAL EVENT", Weight: 0.10},
+		{Name: "Location", From: "FILM FESTIVAL", To: "LOCATION", Weight: 0.05},
+		{Name: "Focus", From: "FILM FESTIVAL", To: "FILM FESTIVAL FOCUS", Weight: 0.04},
+		{Name: "Sponsoring organization", From: "FILM FESTIVAL", To: "SPONSOR", Weight: 0.03},
+	},
+	Gold: []GoldTable{
+		{Key: "FILM", NonKeys: []string{"Directed By", "Tagline", "Initial Release Date"}},
+		{Key: "FILM ACTOR", NonKeys: []string{"Film performances"}},
+		{Key: "FILM GENRE", NonKeys: []string{"Films of this genre"}},
+		{Key: "FILM DIRECTOR", NonKeys: []string{"Films directed"}},
+		{Key: "FILM PRODUCER", NonKeys: []string{"Films Executive Produced", "Films Produced"}},
+		{Key: "FILM WRITER", NonKeys: []string{"Film Writing Credits"}},
+	},
+	GoldN: 9,
+	// Overlap {FILM, FILM DIRECTOR, FILM PRODUCER} at expert positions
+	// 1, 3, 4 (Tables 22–23: Freebase hits at positions 1, 4, 5).
+	ExpertKeys: []string{"FILM", "FILM CHARACTER", "FILM DIRECTOR", "FILM PRODUCER", "FILM COMPANY", "FILM FESTIVAL"},
+}
+
+// ---------------------------------------------------------------------------
+// music: 27M / 69 vertices, 187M / 176 edges. Gold k=6, n=18.
+
+var musicSpec = &Spec{
+	Name:          "music",
+	PaperVertices: 27_000_000, PaperEdges: 187_000_000,
+	K: 69, N: 176,
+	Types: []TypeSpec{
+		// The recording/release/track triangle dominates real Freebase
+		// music and drives the random-walk preview of Table 11.
+		{Name: "MUSICAL RECORDING", Weight: 3.0},
+		{Name: "RELEASE TRACK", Weight: 2.6},
+		{Name: "MUSICAL RELEASE", Weight: 1.5},
+		{Name: "MUSICAL ALBUM", Weight: 0.8},
+		{Name: "MUSICAL ARTIST", Weight: 0.55},
+		{Name: "COMPOSITION", Weight: 0.62},
+		{Name: "CONCERT", Weight: 0.30},
+		{Name: "MUSIC VIDEO", Weight: 0.36},
+		{Name: "MUSICAL ALBUM TYPE", Weight: 0.002},
+		{Name: "MUSICAL GENRE", Weight: 0.01},
+		{Name: "COMPOSER", Weight: 0.12},
+		{Name: "LYRICIST", Weight: 0.08},
+		{Name: "VENUE", Weight: 0.05},
+		{Name: "CONCERT TOUR", Weight: 0.03},
+		{Name: "RELEASE DATE", Weight: 0.07},
+		{Name: "TRACK LENGTH", Weight: 0.09},
+		{Name: "LOCATION", Weight: 0.04},
+		{Name: "CONCERT DATE", Weight: 0.03},
+	},
+	Rels: []RelSpec{
+		{Name: "Releases", From: "MUSICAL RECORDING", To: "MUSICAL RELEASE", Weight: 2.6},
+		{Name: "Tracks", From: "MUSICAL RECORDING", To: "RELEASE TRACK", Weight: 2.5},
+		{Name: "Recorded by", From: "MUSICAL RECORDING", To: "MUSICAL ARTIST", Weight: 2.2},
+		{Name: "Length", From: "MUSICAL RECORDING", To: "TRACK LENGTH", Weight: 1.6},
+		{Name: "Featured artists", From: "MUSICAL RECORDING", To: "MUSICAL ARTIST", Weight: 0.7},
+		{Name: "Tracks", From: "MUSICAL RELEASE", To: "MUSICAL RECORDING", Weight: 2.3},
+		{Name: "Track list", From: "MUSICAL RELEASE", To: "RELEASE TRACK", Weight: 2.2},
+		{Name: "Release", From: "RELEASE TRACK", To: "MUSICAL RELEASE", Weight: 2.1},
+		{Name: "Recording", From: "RELEASE TRACK", To: "MUSICAL RECORDING", Weight: 2.0},
+		{Name: "Tracks recorded", From: "MUSICAL ARTIST", To: "MUSICAL RECORDING", Weight: 1.9},
+		{Name: "Albums", From: "MUSICAL ARTIST", To: "MUSICAL ALBUM", Weight: 0.8},
+		{Name: "Place Musical Career Began", From: "MUSICAL ARTIST", To: "LOCATION", Weight: 0.3},
+		{Name: "Musical Genres", From: "MUSICAL ARTIST", To: "MUSICAL GENRE", Weight: 0.5},
+		{Name: "Releases", From: "MUSICAL ALBUM", To: "MUSICAL RELEASE", Weight: 1.0},
+		{Name: "Release Type", From: "MUSICAL ALBUM", To: "MUSICAL ALBUM TYPE", Weight: 0.75},
+		{Name: "Initial Release Date", From: "MUSICAL ALBUM", To: "RELEASE DATE", Weight: 0.7},
+		{Name: "Artist", From: "MUSICAL ALBUM", To: "MUSICAL ARTIST", Weight: 0.72},
+		{Name: "Includes", From: "COMPOSITION", To: "COMPOSITION", Weight: 0.25},
+		{Name: "Lyricist", From: "COMPOSITION", To: "LYRICIST", Weight: 0.35},
+		{Name: "Composer", From: "COMPOSITION", To: "COMPOSER", Weight: 0.45},
+		{Name: "Venue", From: "CONCERT", To: "VENUE", Weight: 0.15},
+		{Name: "Start Date", From: "CONCERT", To: "CONCERT DATE", Weight: 0.14},
+		{Name: "Concert Tour", From: "CONCERT", To: "CONCERT TOUR", Weight: 0.12},
+		{Name: "Song", From: "MUSIC VIDEO", To: "MUSICAL RECORDING", Weight: 0.2},
+		{Name: "Initial release date", From: "MUSIC VIDEO", To: "RELEASE DATE", Weight: 0.16},
+		{Name: "Artist", From: "MUSIC VIDEO", To: "MUSICAL ARTIST", Weight: 0.18},
+		{Name: "Compositions", From: "COMPOSER", To: "COMPOSITION", Weight: 0.2},
+		{Name: "Recordings", From: "COMPOSITION", To: "MUSICAL RECORDING", Weight: 0.4},
+	},
+	Gold: []GoldTable{
+		{Key: "COMPOSITION", NonKeys: []string{"Includes", "Lyricist", "Composer"}},
+		{Key: "CONCERT", NonKeys: []string{"Venue", "Start Date", "Concert Tour"}},
+		{Key: "MUSIC VIDEO", NonKeys: []string{"Song", "Initial release date", "Artist"}},
+		{Key: "MUSICAL ALBUM", NonKeys: []string{"Release Type", "Initial Release Date", "Artist"}},
+		{Key: "MUSICAL ARTIST", NonKeys: []string{"Albums", "Place Musical Career Began", "Musical Genres"}},
+		{Key: "MUSICAL RECORDING", NonKeys: []string{"Length", "Featured artists", "Recorded by"}},
+	},
+	GoldN: 18,
+	// Overlap of 5 (all but MUSICAL RECORDING); expert position 5 holds the
+	// non-gold MUSICAL RELEASE (Tables 22–23).
+	ExpertKeys: []string{"COMPOSITION", "CONCERT", "MUSIC VIDEO", "MUSICAL ALBUM", "MUSICAL RELEASE", "MUSICAL ARTIST"},
+}
+
+// ---------------------------------------------------------------------------
+// tv: 2M / 59 vertices, 17M / 177 edges. Gold k=6, n=9.
+
+var tvSpec = &Spec{
+	Name:          "tv",
+	PaperVertices: 2_000_000, PaperEdges: 17_000_000,
+	K: 59, N: 177,
+	Types: []TypeSpec{
+		{Name: "TV EPISODE", Weight: 3.0},
+		{Name: "TV PROGRAM", Weight: 0.55},
+		{Name: "TV SEASON", Weight: 0.40},
+		{Name: "TV ACTOR", Weight: 0.8},
+		{Name: "TV CHARACTER", Weight: 0.7},
+		{Name: "TV WRITER", Weight: 0.30},
+		{Name: "TV PRODUCER", Weight: 0.28},
+		{Name: "TV DIRECTOR", Weight: 0.32},
+		{Name: "TV SEGMENT", Weight: 0.1},
+		{Name: "TV PROGRAM CREATOR", Weight: 0.08},
+		{Name: "TV NETWORK", Weight: 0.02},
+		{Name: "AIR DATE", Weight: 0.06},
+		{Name: "PERSON", Weight: 0.20},
+		{Name: "PERSONAL APPEARANCE ROLE", Weight: 0.005},
+	},
+	Rels: []RelSpec{
+		{Name: "Previous episode", From: "TV EPISODE", To: "TV EPISODE", Weight: 2.4},
+		{Name: "Next episode", From: "TV EPISODE", To: "TV EPISODE", Weight: 2.4},
+		{Name: "Performances", From: "TV EPISODE", To: "TV CHARACTER", Weight: 2.0},
+		{Name: "Season", From: "TV EPISODE", To: "TV SEASON", Weight: 2.2},
+		{Name: "Series", From: "TV EPISODE", To: "TV PROGRAM", Weight: 2.1},
+		{Name: "Personal appearances", From: "TV EPISODE", To: "PERSON", Weight: 0.5},
+		{Name: "Episodes", From: "TV SEASON", To: "TV EPISODE", Weight: 1.8},
+		{Name: "Program Creator", From: "TV PROGRAM", To: "TV PROGRAM CREATOR", Weight: 0.3},
+		{Name: "Air Date Of First Episode", From: "TV PROGRAM", To: "AIR DATE", Weight: 0.32},
+		{Name: "Air Date Of Final Episode", From: "TV PROGRAM", To: "AIR DATE", Weight: 0.28},
+		{Name: "Regular acting performances", From: "TV PROGRAM", To: "TV CHARACTER", Weight: 0.9},
+		{Name: "Starring TV Roles", From: "TV ACTOR", To: "TV CHARACTER", Weight: 0.8},
+		{Name: "TV episode performances", From: "TV ACTOR", To: "TV EPISODE", Weight: 1.7},
+		{Name: "Programs In Which This Was A Regular Character", From: "TV CHARACTER", To: "TV PROGRAM", Weight: 0.7},
+		{Name: "TV Programs (Recurring Writer)", From: "TV WRITER", To: "TV PROGRAM", Weight: 0.3},
+		{Name: "TV Programs Produced", From: "TV PRODUCER", To: "TV PROGRAM", Weight: 0.28},
+		{Name: "TV Episodes Directed", From: "TV DIRECTOR", To: "TV EPISODE", Weight: 0.6},
+		{Name: "TV Segments Directed", From: "TV DIRECTOR", To: "TV SEGMENT", Weight: 0.12},
+		{Name: "Networks airing", From: "TV PROGRAM", To: "TV NETWORK", Weight: 0.2},
+		{Name: "Appearance role", From: "PERSON", To: "PERSONAL APPEARANCE ROLE", Weight: 0.15},
+	},
+	Gold: []GoldTable{
+		{Key: "TV PROGRAM", NonKeys: []string{"Program Creator", "Air Date Of First Episode", "Air Date Of Final Episode"}},
+		{Key: "TV ACTOR", NonKeys: []string{"Starring TV Roles"}},
+		{Key: "TV CHARACTER", NonKeys: []string{"Programs In Which This Was A Regular Character"}},
+		{Key: "TV WRITER", NonKeys: []string{"TV Programs (Recurring Writer)"}},
+		{Key: "TV PRODUCER", NonKeys: []string{"TV Programs Produced"}},
+		{Key: "TV DIRECTOR", NonKeys: []string{"TV Episodes Directed", "TV Segments Directed"}},
+	},
+	GoldN: 9,
+	// Overlap {TV PROGRAM, TV ACTOR, TV CHARACTER} at expert positions
+	// 1, 2, 4 (Tables 22–23: Freebase hits at positions 1, 2, 3).
+	ExpertKeys: []string{"TV PROGRAM", "TV ACTOR", "TV EPISODE", "TV CHARACTER", "TV SEASON", "TV NETWORK"},
+}
+
+// ---------------------------------------------------------------------------
+// people: 3M / 45 vertices, 17M / 78 edges. Gold k=6, n=16.
+
+var peopleSpec = &Spec{
+	Name:          "people",
+	PaperVertices: 3_000_000, PaperEdges: 17_000_000,
+	K: 45, N: 78,
+	Types: []TypeSpec{
+		{Name: "PERSON", Weight: 3.0},
+		{Name: "DECEASED PERSON", Weight: 1.0, SubsetOf: "PERSON"},
+		{Name: "CAUSE OF DEATH", Weight: 0.07},
+		{Name: "ETHNICITY", Weight: 0.08},
+		{Name: "PROFESSION", Weight: 0.12},
+		{Name: "PROFESSIONAL FIELD", Weight: 0.03},
+		{Name: "COUNTRY", Weight: 0.005},
+		{Name: "LOCATION", Weight: 0.15},
+		{Name: "DATE OF BIRTH", Weight: 0.10},
+		{Name: "DATE OF DEATH", Weight: 0.06},
+		{Name: "FAMILY", Weight: 0.04},
+		{Name: "FAMILY NAME", Weight: 0.07},
+	},
+	Rels: []RelSpec{
+		{Name: "Profession", From: "PERSON", To: "PROFESSION", Weight: 2.2},
+		{Name: "Country Of Nationality", From: "PERSON", To: "COUNTRY", Weight: 2.4},
+		{Name: "Date Of Birth", From: "PERSON", To: "DATE OF BIRTH", Weight: 2.6},
+		{Name: "Place Of Birth", From: "PERSON", To: "LOCATION", Weight: 1.8},
+		{Name: "Ethnicity", From: "PERSON", To: "ETHNICITY", Weight: 0.7},
+		{Name: "Family Name", From: "PERSON", To: "FAMILY NAME", Weight: 1.2},
+		{Name: "Family members", From: "FAMILY", To: "PERSON", Weight: 0.2},
+		{Name: "Cause Of Death", From: "DECEASED PERSON", To: "CAUSE OF DEATH", Weight: 0.8},
+		{Name: "Place Of Death", From: "DECEASED PERSON", To: "LOCATION", Weight: 0.7},
+		{Name: "Date Of Death", From: "DECEASED PERSON", To: "DATE OF DEATH", Weight: 0.9},
+		{Name: "People Who Died This Way", From: "CAUSE OF DEATH", To: "DECEASED PERSON", Weight: 0.3},
+		{Name: "Includes Causes Of Death", From: "CAUSE OF DEATH", To: "CAUSE OF DEATH", Weight: 0.05},
+		{Name: "Parent Cause Of Death", From: "CAUSE OF DEATH", To: "CAUSE OF DEATH", Weight: 0.04},
+		{Name: "Geographic Distribution", From: "ETHNICITY", To: "LOCATION", Weight: 0.08},
+		{Name: "Includes Group(S)", From: "ETHNICITY", To: "ETHNICITY", Weight: 0.03},
+		{Name: "Included In Group(S)", From: "ETHNICITY", To: "ETHNICITY", Weight: 0.03},
+		{Name: "Specializations", From: "PROFESSION", To: "PROFESSION", Weight: 0.05},
+		{Name: "Specialization Of", From: "PROFESSION", To: "PROFESSION", Weight: 0.05},
+		{Name: "People With This Profession", From: "PROFESSION", To: "PERSON", Weight: 0.6},
+		{Name: "Professions In This Field", From: "PROFESSIONAL FIELD", To: "PROFESSION", Weight: 0.04},
+	},
+	Gold: []GoldTable{
+		{Key: "PERSON", NonKeys: []string{"Profession", "Country Of Nationality", "Date Of Birth"}},
+		{Key: "DECEASED PERSON", NonKeys: []string{"Cause Of Death", "Place Of Death", "Date Of Death"}},
+		{Key: "CAUSE OF DEATH", NonKeys: []string{"People Who Died This Way", "Includes Causes Of Death", "Parent Cause Of Death"}},
+		{Key: "ETHNICITY", NonKeys: []string{"Geographic Distribution", "Includes Group(S)", "Included In Group(S)"}},
+		{Key: "PROFESSION", NonKeys: []string{"Specializations", "Specialization Of", "People With This Profession"}},
+		{Key: "PROFESSIONAL FIELD", NonKeys: []string{"Professions In This Field"}},
+	},
+	GoldN: 16,
+	// Overlap {PERSON, DECEASED PERSON, PROFESSION} at expert positions
+	// 1, 3, 4 (Tables 22–23: Freebase hits at positions 1, 2, 5).
+	ExpertKeys: []string{"PERSON", "FAMILY", "DECEASED PERSON", "PROFESSION", "LOCATION", "COUNTRY"},
+}
+
+// ---------------------------------------------------------------------------
+// basketball: 19K / 6 vertices, 557K / 21 edges. Efficiency domain only.
+
+var basketballSpec = &Spec{
+	Name:          "basketball",
+	PaperVertices: 19_000, PaperEdges: 557_000,
+	K: 6, N: 21,
+	Types: []TypeSpec{
+		{Name: "BASKETBALL PLAYER", Weight: 2.0},
+		{Name: "BASKETBALL TEAM", Weight: 0.05},
+		{Name: "BASKETBALL COACH", Weight: 0.12},
+		{Name: "BASKETBALL POSITION", Weight: 0.003},
+		{Name: "BASKETBALL SEASON", Weight: 0.08},
+		{Name: "BASKETBALL GAME", Weight: 1.2},
+	},
+	Rels: []RelSpec{
+		{Name: "Current team", From: "BASKETBALL PLAYER", To: "BASKETBALL TEAM", Weight: 1.0},
+		{Name: "Former teams", From: "BASKETBALL PLAYER", To: "BASKETBALL TEAM", Weight: 1.4},
+		{Name: "Position", From: "BASKETBALL PLAYER", To: "BASKETBALL POSITION", Weight: 1.1},
+		{Name: "Games played", From: "BASKETBALL PLAYER", To: "BASKETBALL GAME", Weight: 3.0},
+		{Name: "Drafted by", From: "BASKETBALL PLAYER", To: "BASKETBALL TEAM", Weight: 0.6},
+		{Name: "Roster", From: "BASKETBALL TEAM", To: "BASKETBALL PLAYER", Weight: 1.2},
+		{Name: "Head coach", From: "BASKETBALL TEAM", To: "BASKETBALL COACH", Weight: 0.08},
+		{Name: "Former coaches", From: "BASKETBALL TEAM", To: "BASKETBALL COACH", Weight: 0.2},
+		{Name: "Seasons", From: "BASKETBALL TEAM", To: "BASKETBALL SEASON", Weight: 0.5},
+		{Name: "Home games", From: "BASKETBALL TEAM", To: "BASKETBALL GAME", Weight: 1.6},
+		{Name: "Away games", From: "BASKETBALL TEAM", To: "BASKETBALL GAME", Weight: 1.6},
+		{Name: "Teams coached", From: "BASKETBALL COACH", To: "BASKETBALL TEAM", Weight: 0.15},
+		{Name: "Players coached", From: "BASKETBALL COACH", To: "BASKETBALL PLAYER", Weight: 0.9},
+		{Name: "Season of", From: "BASKETBALL SEASON", To: "BASKETBALL TEAM", Weight: 0.4},
+		{Name: "Games", From: "BASKETBALL SEASON", To: "BASKETBALL GAME", Weight: 1.8},
+		{Name: "Champion", From: "BASKETBALL SEASON", To: "BASKETBALL TEAM", Weight: 0.05},
+		{Name: "Home team", From: "BASKETBALL GAME", To: "BASKETBALL TEAM", Weight: 1.5},
+		{Name: "Away team", From: "BASKETBALL GAME", To: "BASKETBALL TEAM", Weight: 1.5},
+		{Name: "Season", From: "BASKETBALL GAME", To: "BASKETBALL SEASON", Weight: 1.4},
+		{Name: "Players", From: "BASKETBALL GAME", To: "BASKETBALL PLAYER", Weight: 2.8},
+		{Name: "Positions played", From: "BASKETBALL POSITION", To: "BASKETBALL PLAYER", Weight: 0.7},
+	},
+}
+
+// ---------------------------------------------------------------------------
+// architecture: 133K / 23 vertices, 432K / 48 edges. Efficiency domain only.
+
+var architectureSpec = &Spec{
+	Name:          "architecture",
+	PaperVertices: 133_000, PaperEdges: 432_000,
+	K: 23, N: 48,
+	Types: []TypeSpec{
+		{Name: "BUILDING", Weight: 2.0},
+		{Name: "STRUCTURE", Weight: 1.6},
+		{Name: "ARCHITECT", Weight: 0.3},
+		{Name: "ARCHITECTURAL STYLE", Weight: 0.01},
+		{Name: "BRIDGE", Weight: 0.15, SubsetOf: "STRUCTURE"},
+		{Name: "SKYSCRAPER", Weight: 0.2, SubsetOf: "BUILDING"},
+		{Name: "LOCATION", Weight: 0.8},
+		{Name: "BUILDING FUNCTION", Weight: 0.01},
+		{Name: "CONSTRUCTION MATERIAL", Weight: 0.008},
+		{Name: "ENGINEER", Weight: 0.1},
+		{Name: "OWNER", Weight: 0.25},
+		{Name: "ARCHITECTURE FIRM", Weight: 0.06},
+		{Name: "VENUE", Weight: 0.3},
+		{Name: "MUSEUM", Weight: 0.08, SubsetOf: "BUILDING"},
+		{Name: "TOWER", Weight: 0.07, SubsetOf: "STRUCTURE"},
+		{Name: "DAM", Weight: 0.04, SubsetOf: "STRUCTURE"},
+		{Name: "STADIUM", Weight: 0.05, SubsetOf: "VENUE"},
+		{Name: "HOUSE", Weight: 0.3, SubsetOf: "BUILDING"},
+		{Name: "PLACE OF WORSHIP", Weight: 0.12, SubsetOf: "BUILDING"},
+		{Name: "MONUMENT", Weight: 0.06},
+		{Name: "LIGHTHOUSE", Weight: 0.03, SubsetOf: "STRUCTURE"},
+		{Name: "AIRPORT TERMINAL", Weight: 0.02, SubsetOf: "BUILDING"},
+		{Name: "CASTLE", Weight: 0.04, SubsetOf: "BUILDING"},
+	},
+	Rels: []RelSpec{
+		{Name: "Architect", From: "BUILDING", To: "ARCHITECT", Weight: 0.9},
+		{Name: "Architectural style", From: "BUILDING", To: "ARCHITECTURAL STYLE", Weight: 0.8},
+		{Name: "Location", From: "BUILDING", To: "LOCATION", Weight: 1.6},
+		{Name: "Function", From: "BUILDING", To: "BUILDING FUNCTION", Weight: 1.0},
+		{Name: "Owner", From: "BUILDING", To: "OWNER", Weight: 0.7},
+		{Name: "Material", From: "STRUCTURE", To: "CONSTRUCTION MATERIAL", Weight: 0.6},
+		{Name: "Location", From: "STRUCTURE", To: "LOCATION", Weight: 1.3},
+		{Name: "Engineer", From: "STRUCTURE", To: "ENGINEER", Weight: 0.5},
+		{Name: "Buildings designed", From: "ARCHITECT", To: "BUILDING", Weight: 0.85},
+		{Name: "Firm", From: "ARCHITECT", To: "ARCHITECTURE FIRM", Weight: 0.2},
+		{Name: "Projects", From: "ARCHITECTURE FIRM", To: "BUILDING", Weight: 0.3},
+		{Name: "Buildings in style", From: "ARCHITECTURAL STYLE", To: "BUILDING", Weight: 0.4},
+		{Name: "Structures designed", From: "ENGINEER", To: "STRUCTURE", Weight: 0.35},
+		{Name: "Buildings owned", From: "OWNER", To: "BUILDING", Weight: 0.45},
+		{Name: "Crosses", From: "BRIDGE", To: "LOCATION", Weight: 0.12},
+		{Name: "Floors", From: "SKYSCRAPER", To: "BUILDING FUNCTION", Weight: 0.1},
+		{Name: "Events hosted", From: "VENUE", To: "LOCATION", Weight: 0.25},
+		{Name: "Collections", From: "MUSEUM", To: "OWNER", Weight: 0.08},
+		{Name: "Monument commemorates", From: "MONUMENT", To: "LOCATION", Weight: 0.05},
+	},
+}

@@ -1,0 +1,287 @@
+// Package graph implements the data model of "Generating Preview Tables for
+// Entity Graphs" (SIGMOD 2016): the entity graph Gd(Vd, Ed) — a directed
+// multigraph of named entities connected by typed relationships — and the
+// schema graph Gs(Vs, Es) uniquely derived from it, whose vertices are
+// entity types and whose edges are relationship types.
+//
+// An entity may belong to one or more entity types. A relationship type
+// determines the entity types of both of its endpoints, so two relationship
+// types may share a surface name (e.g. "Award Winners" from FILM ACTOR to
+// AWARD and from FILM DIRECTOR to AWARD) while remaining distinct.
+//
+// All identifiers are dense small integers suitable for array indexing;
+// the package is designed so that a graph is built once (via Builder) and
+// then queried many times without further allocation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntityID identifies an entity (a vertex of the entity graph Gd).
+type EntityID int32
+
+// TypeID identifies an entity type (a vertex of the schema graph Gs).
+type TypeID int32
+
+// RelTypeID identifies a relationship type (an edge of the schema graph Gs).
+type RelTypeID int32
+
+// EdgeID identifies a single relationship instance (an edge of Gd).
+type EdgeID int32
+
+// None is the sentinel for "no such vertex/edge".
+const None = -1
+
+// Entity is a vertex of the entity graph: a named entity belonging to one or
+// more entity types.
+type Entity struct {
+	Name  string
+	Types []TypeID // sorted, at least one
+}
+
+// EntityType is a vertex of the schema graph.
+type EntityType struct {
+	Name     string
+	Entities []EntityID // entities bearing this type, sorted
+}
+
+// RelType is an edge of the schema graph: a relationship type from entity
+// type From to entity type To. EdgeCount is the number of entity-graph edges
+// bearing this type.
+type RelType struct {
+	Name      string
+	From, To  TypeID
+	EdgeCount int
+}
+
+// Edge is a single directed relationship instance in the entity graph.
+type Edge struct {
+	From, To EntityID
+	Rel      RelTypeID
+}
+
+// EntityGraph is an immutable directed entity multigraph together with its
+// uniquely determined schema graph. Construct one with a Builder.
+type EntityGraph struct {
+	entities []Entity
+	types    []EntityType
+	relTypes []RelType
+	edges    []Edge
+
+	entityByName map[string]EntityID
+	typeByName   map[string]TypeID
+
+	// out[e] / in[e] list edge indexes incident from / to entity e.
+	out [][]EdgeID
+	in  [][]EdgeID
+
+	// schema adjacency: relationship types incident on each entity type,
+	// outgoing (rel.From == t) and incoming (rel.To == t).
+	schemaOut [][]RelTypeID
+	schemaIn  [][]RelTypeID
+}
+
+// NumEntities returns |Vd|.
+func (g *EntityGraph) NumEntities() int { return len(g.entities) }
+
+// NumEdges returns |Ed|.
+func (g *EntityGraph) NumEdges() int { return len(g.edges) }
+
+// NumTypes returns |Vs|, the number of entity types.
+func (g *EntityGraph) NumTypes() int { return len(g.types) }
+
+// NumRelTypes returns |Es|, the number of relationship types.
+func (g *EntityGraph) NumRelTypes() int { return len(g.relTypes) }
+
+// Entity returns the entity with the given id.
+func (g *EntityGraph) Entity(id EntityID) Entity { return g.entities[id] }
+
+// EntityName returns the name of the entity with the given id.
+func (g *EntityGraph) EntityName(id EntityID) string { return g.entities[id].Name }
+
+// Type returns the entity type with the given id.
+func (g *EntityGraph) Type(id TypeID) EntityType { return g.types[id] }
+
+// TypeName returns the name of the entity type with the given id.
+func (g *EntityGraph) TypeName(id TypeID) string { return g.types[id].Name }
+
+// RelType returns the relationship type with the given id.
+func (g *EntityGraph) RelType(id RelTypeID) RelType { return g.relTypes[id] }
+
+// Edge returns the edge with the given id.
+func (g *EntityGraph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// EntityByName resolves an entity by name; ok is false if absent.
+func (g *EntityGraph) EntityByName(name string) (EntityID, bool) {
+	id, ok := g.entityByName[name]
+	return id, ok
+}
+
+// TypeByName resolves an entity type by name; ok is false if absent.
+func (g *EntityGraph) TypeByName(name string) (TypeID, bool) {
+	id, ok := g.typeByName[name]
+	return id, ok
+}
+
+// EntitiesOfType returns the entities bearing type t (shared slice; callers
+// must not mutate it).
+func (g *EntityGraph) EntitiesOfType(t TypeID) []EntityID { return g.types[t].Entities }
+
+// TypeCoverage returns |{v in Vd : v has type t}| — the coverage-based score
+// of t as a key attribute.
+func (g *EntityGraph) TypeCoverage(t TypeID) int { return len(g.types[t].Entities) }
+
+// OutEdges returns the ids of edges incident from entity e.
+func (g *EntityGraph) OutEdges(e EntityID) []EdgeID { return g.out[e] }
+
+// InEdges returns the ids of edges incident to entity e.
+func (g *EntityGraph) InEdges(e EntityID) []EdgeID { return g.in[e] }
+
+// SchemaOut returns the relationship types whose From endpoint is t.
+func (g *EntityGraph) SchemaOut(t TypeID) []RelTypeID { return g.schemaOut[t] }
+
+// SchemaIn returns the relationship types whose To endpoint is t.
+func (g *EntityGraph) SchemaIn(t TypeID) []RelTypeID { return g.schemaIn[t] }
+
+// IncidentRelTypes returns all relationship types incident on t (outgoing
+// then incoming). These are the candidate non-key attributes Γτ of a preview
+// table keyed by t. The returned slice is freshly allocated.
+func (g *EntityGraph) IncidentRelTypes(t TypeID) []RelTypeID {
+	out := g.schemaOut[t]
+	in := g.schemaIn[t]
+	rs := make([]RelTypeID, 0, len(out)+len(in))
+	rs = append(rs, out...)
+	rs = append(rs, in...)
+	return rs
+}
+
+// HasType reports whether entity e bears type t.
+func (g *EntityGraph) HasType(e EntityID, t TypeID) bool {
+	ts := g.entities[e].Types
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+	return i < len(ts) && ts[i] == t
+}
+
+// Neighbors returns, for entity e and relationship type rel, the set of
+// related entities as mandated by Definition 1:
+//
+//   - if outgoing is true, the entities u with an edge e(v, u) of type rel
+//     (rel.From must be a type of v);
+//   - otherwise the entities u with an edge e(u, v) of type rel.
+//
+// The result preserves first-seen order and contains no duplicates.
+func (g *EntityGraph) Neighbors(e EntityID, rel RelTypeID, outgoing bool) []EntityID {
+	var refs []EdgeID
+	if outgoing {
+		refs = g.out[e]
+	} else {
+		refs = g.in[e]
+	}
+	var res []EntityID
+	var seen map[EntityID]bool
+	for _, ref := range refs {
+		ed := g.edges[ref]
+		if ed.Rel != rel {
+			continue
+		}
+		other := ed.To
+		if !outgoing {
+			other = ed.From
+		}
+		if seen == nil {
+			seen = make(map[EntityID]bool, 4)
+		}
+		if !seen[other] {
+			seen[other] = true
+			res = append(res, other)
+		}
+	}
+	return res
+}
+
+// Stats summarizes a graph in the shape of the paper's Table 2 row:
+// entity-graph size and schema-graph size.
+type Stats struct {
+	Entities int // |Vd|
+	Edges    int // |Ed|
+	Types    int // |Vs|
+	RelTypes int // |Es|
+}
+
+// Stats returns size statistics for g.
+func (g *EntityGraph) Stats() Stats {
+	return Stats{
+		Entities: len(g.entities),
+		Edges:    len(g.edges),
+		Types:    len(g.types),
+		RelTypes: len(g.relTypes),
+	}
+}
+
+// String renders the stats in a Table 2-like "entities/types  edges/reltypes"
+// form, e.g. "2000000 / 63 vertices, 18000000 / 136 edges".
+func (s Stats) String() string {
+	return fmt.Sprintf("%d / %d vertices, %d / %d edges", s.Entities, s.Types, s.Edges, s.RelTypes)
+}
+
+// Validate checks internal consistency of the graph: every edge's endpoints
+// exist and bear the endpoint types declared by the edge's relationship
+// type, every type's entity list is sorted and deduplicated, and the
+// schema-graph edge counts equal the actual number of entity-graph edges of
+// each relationship type. It is intended for tests and loaders; a graph
+// produced by Builder.Build always validates.
+func (g *EntityGraph) Validate() error {
+	counts := make([]int, len(g.relTypes))
+	for i, e := range g.edges {
+		if e.From < 0 || int(e.From) >= len(g.entities) || e.To < 0 || int(e.To) >= len(g.entities) {
+			return fmt.Errorf("edge %d: endpoint out of range", i)
+		}
+		if e.Rel < 0 || int(e.Rel) >= len(g.relTypes) {
+			return fmt.Errorf("edge %d: relationship type out of range", i)
+		}
+		rt := g.relTypes[e.Rel]
+		if !g.HasType(e.From, rt.From) {
+			return fmt.Errorf("edge %d: source %q lacks type %q required by relationship %q",
+				i, g.entities[e.From].Name, g.types[rt.From].Name, rt.Name)
+		}
+		if !g.HasType(e.To, rt.To) {
+			return fmt.Errorf("edge %d: target %q lacks type %q required by relationship %q",
+				i, g.entities[e.To].Name, g.types[rt.To].Name, rt.Name)
+		}
+		counts[e.Rel]++
+	}
+	for i, rt := range g.relTypes {
+		if rt.EdgeCount != counts[i] {
+			return fmt.Errorf("relationship type %q: recorded edge count %d != actual %d",
+				rt.Name, rt.EdgeCount, counts[i])
+		}
+		if rt.From < 0 || int(rt.From) >= len(g.types) || rt.To < 0 || int(rt.To) >= len(g.types) {
+			return fmt.Errorf("relationship type %q: endpoint type out of range", rt.Name)
+		}
+	}
+	for ti, t := range g.types {
+		for j := 1; j < len(t.Entities); j++ {
+			if t.Entities[j-1] >= t.Entities[j] {
+				return fmt.Errorf("type %q: entity list not strictly sorted", t.Name)
+			}
+		}
+		for _, e := range t.Entities {
+			if !g.HasType(e, TypeID(ti)) {
+				return fmt.Errorf("type %q: listed entity %q does not bear it", t.Name, g.entities[e].Name)
+			}
+		}
+	}
+	for ei, ent := range g.entities {
+		if len(ent.Types) == 0 {
+			return fmt.Errorf("entity %q (%d) has no type", ent.Name, ei)
+		}
+		for j := 1; j < len(ent.Types); j++ {
+			if ent.Types[j-1] >= ent.Types[j] {
+				return fmt.Errorf("entity %q: type list not strictly sorted", ent.Name)
+			}
+		}
+	}
+	return nil
+}

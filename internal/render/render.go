@@ -1,0 +1,269 @@
+// Package render turns previews into human-readable artifacts: plain-text
+// preview tables in the style of the paper's Fig. 2 (key attribute
+// underlined by convention of an ASCII marker row, sampled tuples,
+// multi-valued cells in braces, empty cells as "-"), Markdown variants for
+// documentation, and Graphviz DOT output of schema graphs in the style of
+// Fig. 3.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+// Options controls preview rendering.
+type Options struct {
+	// Tuples is the number of sample tuples per table (0 renders schema
+	// rows only). The paper displays "a few randomly sampled tuples".
+	Tuples int
+	// Representative selects coverage-greedy tuples instead of random ones
+	// (the future-work extension).
+	Representative bool
+	// Rand drives random sampling; nil uses a fixed seed for deterministic
+	// output.
+	Rand *rand.Rand
+	// MaxCellWidth truncates long cells (0 = 40).
+	MaxCellWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCellWidth <= 0 {
+		o.MaxCellWidth = 40
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// ColumnHeader names a non-key attribute column: the relationship surface
+// name, annotated with its direction when the relationship is incoming
+// (edges from and to an entity are both preview-table attributes, and two
+// relationship types may share a surface name).
+func ColumnHeader(s *graph.Schema, c core.Candidate) string {
+	rt := s.RelType(c.Inc.Rel)
+	if c.Inc.Outgoing {
+		return rt.Name
+	}
+	return rt.Name + " (of " + s.TypeName(rt.From) + ")"
+}
+
+// Table renders one preview table as text.
+func Table(w io.Writer, g *graph.EntityGraph, t *core.Table, opts Options) error {
+	opts = opts.withDefaults()
+	s := g.Schema()
+
+	headers := make([]string, 0, len(t.NonKeys)+1)
+	headers = append(headers, g.TypeName(t.Key))
+	for _, c := range t.NonKeys {
+		headers = append(headers, ColumnHeader(s, c))
+	}
+
+	var tuples []core.Tuple
+	if opts.Tuples > 0 {
+		if opts.Representative {
+			tuples = core.SampleRepresentative(g, t, opts.Tuples)
+		} else {
+			tuples = core.SampleRandom(g, t, opts.Tuples, opts.Rand)
+		}
+	}
+
+	rows := make([][]string, 0, len(tuples))
+	for _, tu := range tuples {
+		row := make([]string, 0, len(headers))
+		row = append(row, clip(g.EntityName(tu.Key), opts.MaxCellWidth))
+		for _, vals := range tu.Values {
+			row = append(row, clip(formatCell(g, vals), opts.MaxCellWidth))
+		}
+		rows = append(rows, row)
+	}
+	return writeGrid(w, headers, rows, true)
+}
+
+// Preview renders a whole preview: every table, separated by blank lines,
+// headed by the preview score.
+func Preview(w io.Writer, g *graph.EntityGraph, p *core.Preview, opts Options) error {
+	fmt.Fprintf(w, "preview: %d tables, %d non-key attributes, score %.4g\n\n",
+		len(p.Tables), p.NonKeyCount(), p.Score)
+	for i := range p.Tables {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := Table(w, g, &p.Tables[i], opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatCell renders a value set: "-" when empty, the bare name for a
+// single value, "{a, b}" for multi-valued cells (Fig. 2).
+func formatCell(g *graph.EntityGraph, vals []graph.EntityID) string {
+	switch len(vals) {
+	case 0:
+		return "-"
+	case 1:
+		return g.EntityName(vals[0])
+	}
+	names := make([]string, len(vals))
+	for i, v := range vals {
+		names[i] = g.EntityName(v)
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+func clip(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	if max <= 1 {
+		return s[:max]
+	}
+	return s[:max-1] + "…"
+}
+
+// writeGrid renders an aligned text grid. When underlineKey is set, the
+// separator under the first column uses '=' — the ASCII stand-in for the
+// paper's underlined key attribute.
+func writeGrid(w io.Writer, headers []string, rows [][]string, underlineKey bool) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(headers))
+	for i := range seps {
+		ch := "-"
+		if underlineKey && i == 0 {
+			ch = "="
+		}
+		seps[i] = strings.Repeat(ch, widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	n := len([]rune(s))
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// MarkdownTable renders one preview table as GitHub-flavored Markdown with
+// the key attribute bolded.
+func MarkdownTable(w io.Writer, g *graph.EntityGraph, t *core.Table, opts Options) error {
+	opts = opts.withDefaults()
+	s := g.Schema()
+	fmt.Fprintf(w, "| **%s** |", g.TypeName(t.Key))
+	for _, c := range t.NonKeys {
+		fmt.Fprintf(w, " %s |", ColumnHeader(s, c))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range t.NonKeys {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	if opts.Tuples > 0 {
+		var tuples []core.Tuple
+		if opts.Representative {
+			tuples = core.SampleRepresentative(g, t, opts.Tuples)
+		} else {
+			tuples = core.SampleRandom(g, t, opts.Tuples, opts.Rand)
+		}
+		for _, tu := range tuples {
+			fmt.Fprintf(w, "| %s |", escapeMD(g.EntityName(tu.Key)))
+			for _, vals := range tu.Values {
+				fmt.Fprintf(w, " %s |", escapeMD(formatCell(g, vals)))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// SchemaDOT writes the schema graph as Graphviz DOT (Fig. 3 style):
+// entity types as boxes, relationship types as labeled directed edges.
+func SchemaDOT(w io.Writer, s *graph.Schema) error {
+	fmt.Fprintln(w, "digraph schema {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box];")
+	for i := 0; i < s.NumTypes(); i++ {
+		fmt.Fprintf(w, "  t%d [label=%q];\n", i, s.TypeName(graph.TypeID(i)))
+	}
+	for i := 0; i < s.NumRelTypes(); i++ {
+		rt := s.RelType(graph.RelTypeID(i))
+		fmt.Fprintf(w, "  t%d -> t%d [label=%q];\n", rt.From, rt.To, rt.Name)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// PreviewDOT writes the schema graph with the preview's star subgraphs
+// highlighted: key attributes doubled, chosen non-key relationships bold.
+func PreviewDOT(w io.Writer, s *graph.Schema, p *core.Preview) error {
+	keyed := map[graph.TypeID]bool{}
+	chosen := map[graph.RelTypeID]bool{}
+	for _, t := range p.Tables {
+		keyed[t.Key] = true
+		for _, c := range t.NonKeys {
+			chosen[c.Inc.Rel] = true
+		}
+	}
+	fmt.Fprintln(w, "digraph preview {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	for i := 0; i < s.NumTypes(); i++ {
+		shape := "box"
+		if keyed[graph.TypeID(i)] {
+			shape = "doubleoctagon"
+		}
+		fmt.Fprintf(w, "  t%d [label=%q, shape=%s];\n", i, s.TypeName(graph.TypeID(i)), shape)
+	}
+	for i := 0; i < s.NumRelTypes(); i++ {
+		rt := s.RelType(graph.RelTypeID(i))
+		style := "dashed"
+		if chosen[graph.RelTypeID(i)] {
+			style = "bold"
+		}
+		fmt.Fprintf(w, "  t%d -> t%d [label=%q, style=%s];\n", rt.From, rt.To, rt.Name, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escapeMD(s string) string {
+	return strings.NewReplacer("|", "\\|", "\n", " ").Replace(s)
+}

@@ -1,0 +1,365 @@
+// Package score implements the preview scoring measures of Sec. 3 of the
+// paper: the coverage-based and random-walk based key attribute measures,
+// and the coverage-based and entropy-based non-key attribute measures.
+//
+// Scores are precomputed once per graph into a Set, which the discovery
+// algorithms then consult in O(1). This mirrors the paper's setup: "Both
+// the schema graph and the scoring measures ... are computed before optimal
+// preview discovery" (Sec. 5).
+package score
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+// KeyMeasure selects the scoring measure for key attributes (entity types).
+type KeyMeasure int
+
+// Key attribute measures (Sec. 3.2).
+const (
+	KeyCoverage   KeyMeasure = iota // Scov(τ): number of entities of type τ
+	KeyRandomWalk                   // Swalk(τ): stationary probability of τ
+)
+
+// String returns the measure name as used in the paper's tables.
+func (m KeyMeasure) String() string {
+	switch m {
+	case KeyCoverage:
+		return "Coverage"
+	case KeyRandomWalk:
+		return "Random Walk"
+	default:
+		return fmt.Sprintf("KeyMeasure(%d)", int(m))
+	}
+}
+
+// NonKeyMeasure selects the scoring measure for non-key attributes
+// (relationship types).
+type NonKeyMeasure int
+
+// Non-key attribute measures (Sec. 3.3).
+const (
+	NonKeyCoverage NonKeyMeasure = iota // Sτcov(γ): number of edges of type γ
+	NonKeyEntropy                       // Sτent(γ): entropy of γ's values in table τ
+)
+
+// String returns the measure name as used in the paper's tables.
+func (m NonKeyMeasure) String() string {
+	switch m {
+	case NonKeyCoverage:
+		return "Coverage"
+	case NonKeyEntropy:
+		return "Entropy"
+	default:
+		return fmt.Sprintf("NonKeyMeasure(%d)", int(m))
+	}
+}
+
+// WalkOptions configures the random-walk key measure.
+type WalkOptions struct {
+	// Smoothing is the small transition probability added between every
+	// pair of entity types to guarantee convergence on disconnected schema
+	// graphs. The paper uses 1e-5 (Sec. 6).
+	Smoothing float64
+	// Tolerance is the L1 convergence threshold of power iteration.
+	Tolerance float64
+	// MaxIter caps power iteration.
+	MaxIter int
+}
+
+// DefaultWalkOptions returns the paper's configuration.
+func DefaultWalkOptions() WalkOptions {
+	return WalkOptions{Smoothing: 1e-5, Tolerance: 1e-12, MaxIter: 10000}
+}
+
+// Set holds every precomputed score for one entity graph: key attribute
+// scores per measure per entity type, and non-key attribute scores per
+// measure per (entity type, incidence). A Set is immutable after Compute.
+type Set struct {
+	schema *graph.Schema
+
+	keyCov  []float64 // per TypeID
+	keyWalk []float64 // per TypeID
+
+	// nonKey[measure][type] is index-aligned with schema.Incident(type).
+	nonKeyCov [][]float64
+	nonKeyEnt [][]float64
+}
+
+// Compute precomputes all four measures for g. The entropy measure
+// materializes per-tuple value sets, so Compute is the only phase that
+// touches the entity graph; discovery afterwards only needs the Set and the
+// schema graph.
+func Compute(g *graph.EntityGraph, opts WalkOptions) *Set {
+	s := g.Schema()
+	set := &Set{schema: s}
+
+	set.keyCov = make([]float64, g.NumTypes())
+	for t := 0; t < g.NumTypes(); t++ {
+		set.keyCov[t] = float64(g.TypeCoverage(graph.TypeID(t)))
+	}
+	set.keyWalk = StationaryDistribution(s, opts)
+
+	set.nonKeyCov = make([][]float64, g.NumTypes())
+	set.nonKeyEnt = make([][]float64, g.NumTypes())
+	for t := 0; t < g.NumTypes(); t++ {
+		incs := s.Incident(graph.TypeID(t))
+		cov := make([]float64, len(incs))
+		ent := make([]float64, len(incs))
+		for i, inc := range incs {
+			cov[i] = float64(s.RelType(inc.Rel).EdgeCount)
+			ent[i] = Entropy(g, graph.TypeID(t), inc)
+		}
+		set.nonKeyCov[t] = cov
+		set.nonKeyEnt[t] = ent
+	}
+	return set
+}
+
+// ComputeSchemaOnly builds a Set for a bare schema graph (no entity graph).
+// Key coverage and entropy are unavailable and default to zero; key
+// random-walk uses unit edge weights. It backs the NP-hardness reduction
+// tests, where the optimization is purely structural (s = 0 in the decision
+// problems).
+func ComputeSchemaOnly(s *graph.Schema, opts WalkOptions) *Set {
+	set := &Set{schema: s}
+	set.keyCov = make([]float64, s.NumTypes())
+	set.keyWalk = StationaryDistribution(s, opts)
+	set.nonKeyCov = make([][]float64, s.NumTypes())
+	set.nonKeyEnt = make([][]float64, s.NumTypes())
+	for t := 0; t < s.NumTypes(); t++ {
+		incs := s.Incident(graph.TypeID(t))
+		cov := make([]float64, len(incs))
+		for i, inc := range incs {
+			cov[i] = float64(s.RelType(inc.Rel).EdgeCount)
+		}
+		set.nonKeyCov[t] = cov
+		set.nonKeyEnt[t] = make([]float64, len(incs))
+	}
+	return set
+}
+
+// NewSet assembles a Set from externally maintained measure values — the
+// hook for incremental maintenance (package dynamic keeps coverage, edge
+// counts and entropies up to date under a stream of graph updates and
+// emits Sets without rescanning the entity graph). nonKeyCov and nonKeyEnt
+// must be index-aligned with s.Incident(t) for each type t. Dimensions are
+// validated; values are not copied.
+func NewSet(s *graph.Schema, keyCov, keyWalk []float64, nonKeyCov, nonKeyEnt [][]float64) (*Set, error) {
+	n := s.NumTypes()
+	if len(keyCov) != n || len(keyWalk) != n || len(nonKeyCov) != n || len(nonKeyEnt) != n {
+		return nil, fmt.Errorf("score: NewSet dimension mismatch: %d types, got %d/%d/%d/%d",
+			n, len(keyCov), len(keyWalk), len(nonKeyCov), len(nonKeyEnt))
+	}
+	for t := 0; t < n; t++ {
+		incs := len(s.Incident(graph.TypeID(t)))
+		if len(nonKeyCov[t]) != incs || len(nonKeyEnt[t]) != incs {
+			return nil, fmt.Errorf("score: NewSet type %d: %d incidences, got %d/%d",
+				t, incs, len(nonKeyCov[t]), len(nonKeyEnt[t]))
+		}
+	}
+	return &Set{schema: s, keyCov: keyCov, keyWalk: keyWalk, nonKeyCov: nonKeyCov, nonKeyEnt: nonKeyEnt}, nil
+}
+
+// Schema returns the schema graph the scores were computed against.
+func (s *Set) Schema() *graph.Schema { return s.schema }
+
+// Key returns S(τ) under the given measure.
+func (s *Set) Key(m KeyMeasure, t graph.TypeID) float64 {
+	switch m {
+	case KeyCoverage:
+		return s.keyCov[t]
+	case KeyRandomWalk:
+		return s.keyWalk[t]
+	}
+	panic("score: unknown key measure")
+}
+
+// NonKey returns Sτ(γ) for the i-th incidence of type t (index aligned with
+// Schema().Incident(t)) under the given measure.
+func (s *Set) NonKey(m NonKeyMeasure, t graph.TypeID, i int) float64 {
+	switch m {
+	case NonKeyCoverage:
+		return s.nonKeyCov[t][i]
+	case NonKeyEntropy:
+		return s.nonKeyEnt[t][i]
+	}
+	panic("score: unknown non-key measure")
+}
+
+// RankKeys returns all entity types sorted by decreasing score under m,
+// breaking ties by TypeID for determinism.
+func (s *Set) RankKeys(m KeyMeasure) []graph.TypeID {
+	ids := make([]graph.TypeID, len(s.keyCov))
+	for i := range ids {
+		ids[i] = graph.TypeID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		sa, sb := s.Key(m, ids[a]), s.Key(m, ids[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// RankedIncidence is one candidate non-key attribute with its score.
+type RankedIncidence struct {
+	Index int // index into Schema().Incident(t)
+	Inc   graph.Incidence
+	Score float64
+}
+
+// RankNonKeys returns the candidate non-key attributes of type t sorted by
+// decreasing score under m (Theorem 3 ordering), breaking ties by incidence
+// index for determinism.
+func (s *Set) RankNonKeys(m NonKeyMeasure, t graph.TypeID) []RankedIncidence {
+	incs := s.schema.Incident(t)
+	rs := make([]RankedIncidence, len(incs))
+	for i, inc := range incs {
+		rs[i] = RankedIncidence{Index: i, Inc: inc, Score: s.NonKey(m, t, i)}
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		if rs[a].Score != rs[b].Score {
+			return rs[a].Score > rs[b].Score
+		}
+		return rs[a].Index < rs[b].Index
+	})
+	return rs
+}
+
+// StationaryDistribution computes the random-walk scores Swalk over the
+// undirected weighted schema view: π = πM where Mij = wij / Σk wik, with
+// opts.Smoothing added between every (ordered) pair of distinct types and
+// rows renormalized (the paper's convergence fix for disconnected schema
+// graphs). The result sums to 1; an empty schema returns an empty slice.
+//
+// Iteration uses the lazy walk (M+I)/2, which has exactly the same fixed
+// point π = πM but converges even on periodic (bipartite) schema graphs,
+// where plain power iteration oscillates forever.
+func StationaryDistribution(s *graph.Schema, opts WalkOptions) []float64 {
+	n := s.NumTypes()
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{1}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10000
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-12
+	}
+
+	// Row sums after smoothing: total weight + smoothing to (n-1) others.
+	rowSum := make([]float64, n)
+	for t := 0; t < n; t++ {
+		rowSum[t] = s.TotalWeight(graph.TypeID(t)) + opts.Smoothing*float64(n-1)
+	}
+
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// next = pi · M. The smoothing term contributes
+		// Σ_t pi[t]·σ/rowSum[t] to every j≠t; accumulate the global sum and
+		// subtract each row's own contribution.
+		var smoothTotal float64
+		for j := range next {
+			next[j] = 0
+		}
+		for t := 0; t < n; t++ {
+			if rowSum[t] == 0 {
+				// Isolated vertex with zero smoothing: distribute uniformly
+				// to keep the chain stochastic.
+				share := pi[t] / float64(n)
+				for j := 0; j < n; j++ {
+					next[j] += share
+				}
+				continue
+			}
+			contrib := pi[t] * opts.Smoothing / rowSum[t]
+			smoothTotal += contrib
+			next[t] -= contrib // no self smoothing
+			neighbors, weights := s.Neighbors(graph.TypeID(t))
+			for i, u := range neighbors {
+				next[u] += pi[t] * weights[i] / rowSum[t]
+			}
+		}
+		if smoothTotal != 0 {
+			for j := range next {
+				next[j] += smoothTotal
+			}
+		}
+		var delta float64
+		for j := range next {
+			next[j] = 0.5*next[j] + 0.5*pi[j] // lazy step
+			delta += math.Abs(next[j] - pi[j])
+		}
+		pi, next = next, pi
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+	// Normalize defensively against floating-point drift.
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if sum > 0 {
+		for i := range pi {
+			pi[i] /= sum
+		}
+	}
+	return pi
+}
+
+// Entropy computes Sτent(γ) (Sec. 3.3): the entropy, in log base 10, of the
+// distribution of value sets attained by the tuples of the table keyed by
+// entity type t on the non-key attribute inc. Tuples with empty values are
+// excluded from the denominator; two multi-valued cells are equal iff they
+// contain the same set of component entities.
+func Entropy(g *graph.EntityGraph, t graph.TypeID, inc graph.Incidence) float64 {
+	groups := make(map[string]int)
+	var nonEmpty int
+	for _, e := range g.EntitiesOfType(t) {
+		vals := g.Neighbors(e, inc.Rel, inc.Outgoing)
+		if len(vals) == 0 {
+			continue
+		}
+		nonEmpty++
+		groups[valueSetKey(vals)]++
+	}
+	if nonEmpty == 0 {
+		return 0
+	}
+	var h float64
+	total := float64(nonEmpty)
+	for _, nj := range groups {
+		p := float64(nj) / total
+		h += p * math.Log10(1/p)
+	}
+	return h
+}
+
+// valueSetKey canonicalizes a value set: sorted entity ids joined into a
+// deterministic key, so {a,b} and {b,a} collide.
+func valueSetKey(vals []graph.EntityID) string {
+	ids := make([]graph.EntityID, len(vals))
+	copy(ids, vals)
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	// Compact binary key: 4 bytes per id.
+	buf := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf)
+}

@@ -1,0 +1,181 @@
+// Package stats provides the statistical machinery behind the paper's
+// evaluation: descriptive statistics and boxplot summaries (Figs. 10–14),
+// Pearson correlation (Table 4, Eq. 4), and the two-proportion one-tailed
+// z-test used for the pairwise user-study comparisons (Tables 7, 13–16).
+// Everything is stdlib math; the normal CDF comes from math.Erf.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more observations
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks (the "exclusive" R-7 method used by
+// most plotting libraries). xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Boxplot is the five-number summary rendered by the paper's
+// time-per-task figures.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// NewBoxplot computes the five-number summary of xs.
+func NewBoxplot(xs []float64) (Boxplot, error) {
+	if len(xs) == 0 {
+		return Boxplot{}, ErrInsufficientData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Boxplot{
+		Min:    sorted[0],
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+		N:      len(xs),
+	}, nil
+}
+
+// IQR returns the interquartile range Q3 − Q1.
+func (b Boxplot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// Pearson computes the Pearson Correlation Coefficient between x and y
+// (Eq. 4 of the paper). It returns an error when the lengths differ, fewer
+// than two pairs exist, or either variable is constant (undefined PCC).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficientData
+	}
+	n := float64(len(x))
+	var sx, sy, sxy, sxx, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxy += x[i] * y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+	}
+	num := sxy/n - (sx/n)*(sy/n)
+	dx := sxx/n - (sx/n)*(sx/n)
+	dy := syy/n - (sy/n)*(sy/n)
+	if dx <= 0 || dy <= 0 {
+		return 0, errors.New("stats: constant variable, correlation undefined")
+	}
+	return num / math.Sqrt(dx*dy), nil
+}
+
+// NormalCDF returns Φ(z), the standard normal cumulative distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// ZTestResult is the outcome of a two-proportion one-tailed z-test as
+// reported in the paper's pairwise comparison tables: the z-score, the
+// one-tailed p-value, and whether the null hypothesis is rejected at the
+// configured significance level.
+type ZTestResult struct {
+	Z        float64
+	P        float64
+	Rejected bool
+	Alpha    float64
+}
+
+// TwoProportionZTest compares observed success proportions cA = xA/nA and
+// cB = xB/nB with a pooled two-proportion z-test. Following Sec. 6.3.1: for
+// a positive z (cA > cB) the p-value is right-tailed; for a negative z it
+// is left-tailed. The null hypothesis (no difference in the observed
+// direction) is rejected when p < alpha.
+func TwoProportionZTest(xA, nA, xB, nB int, alpha float64) (ZTestResult, error) {
+	if nA <= 0 || nB <= 0 {
+		return ZTestResult{}, ErrInsufficientData
+	}
+	if xA < 0 || xA > nA || xB < 0 || xB > nB {
+		return ZTestResult{}, errors.New("stats: successes out of range")
+	}
+	cA := float64(xA) / float64(nA)
+	cB := float64(xB) / float64(nB)
+	pooled := float64(xA+xB) / float64(nA+nB)
+	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(nA) + 1/float64(nB)))
+	if se == 0 {
+		// Both proportions identical at 0 or 1: no evidence either way.
+		return ZTestResult{Z: 0, P: 0.5, Rejected: false, Alpha: alpha}, nil
+	}
+	z := (cA - cB) / se
+	var p float64
+	if z >= 0 {
+		p = 1 - NormalCDF(z) // right tail
+	} else {
+		p = NormalCDF(z) // left tail
+	}
+	return ZTestResult{Z: z, P: p, Rejected: p < alpha, Alpha: alpha}, nil
+}

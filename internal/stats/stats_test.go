@@ -1,0 +1,200 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uta-db/previewtables/internal/stats"
+)
+
+const eps = 1e-9
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := stats.Mean(xs); m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if v := stats.Variance(xs); v != 4 {
+		t.Errorf("variance = %v, want 4", v)
+	}
+	if s := stats.StdDev(xs); s != 2 {
+		t.Errorf("stddev = %v, want 2", s)
+	}
+	if stats.Mean(nil) != 0 || stats.Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+func TestPercentileAndMedian(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if m := stats.Median(xs); m != 2.5 {
+		t.Errorf("median = %v, want 2.5", m)
+	}
+	if p := stats.Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := stats.Percentile(xs, 100); p != 4 {
+		t.Errorf("p100 = %v, want 4", p)
+	}
+	if p := stats.Percentile(xs, 25); math.Abs(p-1.75) > eps {
+		t.Errorf("p25 = %v, want 1.75", p)
+	}
+	if p := stats.Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	b, err := stats.NewBoxplot([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 || b.N != 5 {
+		t.Errorf("boxplot = %+v", b)
+	}
+	if b.IQR() != 2 {
+		t.Errorf("IQR = %v, want 2", b.IQR())
+	}
+	if _, err := stats.NewBoxplot(nil); err == nil {
+		t.Error("empty boxplot should fail")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := stats.Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > eps {
+		t.Errorf("r = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = stats.Pearson(x, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > eps {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 3, 2, 5, 4}
+	r, err := stats.Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.8) > eps {
+		t.Errorf("r = %v, want 0.8", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := stats.Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := stats.Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair should fail")
+	}
+	if _, err := stats.Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant variable should fail")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r, err := stats.Pearson(x, y)
+		if err != nil {
+			return true
+		}
+		return r >= -1-eps && r <= 1+eps
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{
+		0:     0.5,
+		1.645: 0.95,
+		-1.96: 0.025,
+		3:     0.99865,
+	}
+	for z, want := range cases {
+		if got := stats.NormalCDF(z); math.Abs(got-want) > 5e-4 {
+			t.Errorf("Φ(%v) = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func TestTwoProportionZTestPaperExample(t *testing.T) {
+	// Table 7, Concise vs Diverse in "music": cConcise = 0.903 (n=52),
+	// cDiverse = 0.730 (n=52) → z = −2.28, p = 0.0113 when comparing
+	// Diverse against Concise (row Concise, column Diverse: z for the
+	// column approach vs row approach as A vs B).
+	res, err := stats.TwoProportionZTest(38, 52, 47, 52, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 38/52 = 0.7307 vs 47/52 = 0.9038.
+	if math.Abs(res.Z-(-2.28)) > 0.02 {
+		t.Errorf("z = %v, want ≈ -2.28 (paper Table 7)", res.Z)
+	}
+	if math.Abs(res.P-0.0113) > 0.002 {
+		t.Errorf("p = %v, want ≈ 0.0113", res.P)
+	}
+	if !res.Rejected {
+		t.Error("null hypothesis should be rejected at α = 0.1")
+	}
+}
+
+func TestTwoProportionZTestSymmetry(t *testing.T) {
+	a, err := stats.TwoProportionZTest(40, 50, 30, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stats.TwoProportionZTest(30, 50, 40, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Z+b.Z) > eps {
+		t.Errorf("z not antisymmetric: %v vs %v", a.Z, b.Z)
+	}
+	if math.Abs(a.P-b.P) > eps {
+		t.Errorf("one-tailed p should match under swap: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestTwoProportionZTestEdgeCases(t *testing.T) {
+	if _, err := stats.TwoProportionZTest(1, 0, 1, 2, 0.1); err == nil {
+		t.Error("zero sample should fail")
+	}
+	if _, err := stats.TwoProportionZTest(5, 2, 1, 2, 0.1); err == nil {
+		t.Error("successes beyond n should fail")
+	}
+	res, err := stats.TwoProportionZTest(5, 5, 7, 7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected || res.Z != 0 {
+		t.Errorf("identical saturated proportions: %+v, want z=0 not rejected", res)
+	}
+}

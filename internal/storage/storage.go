@@ -1,0 +1,318 @@
+// Package storage provides a compact binary snapshot codec for entity
+// graphs. The paper loaded its Freebase dump into MySQL once and then ran
+// all preview computations against in-memory structures; the snapshot plays
+// the same role here — generate or parse a graph once, persist it, and
+// reload it instantly for repeated experiments.
+//
+// Format (all integers unsigned varints, strings length-prefixed):
+//
+//	magic "EGPT" | version | type table | relationship-type table |
+//	entity table (name + type ids) | edge table (from, rel, to) |
+//	CRC-32C of everything before the checksum
+//
+// Edge endpoints are delta-friendly small ints; a 200K-edge domain snapshot
+// is a few MB and loads in milliseconds.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+var magic = [4]byte{'E', 'G', 'P', 'T'}
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// ErrCorrupt is returned when a snapshot fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("storage: corrupt snapshot")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (cw *crcWriter) write(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.Write(p); err != nil {
+		cw.err = err
+		return
+	}
+	cw.crc.Write(p)
+}
+
+func (cw *crcWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(cw.buf[:], v)
+	cw.write(cw.buf[:n])
+}
+
+func (cw *crcWriter) str(s string) {
+	cw.uvarint(uint64(len(s)))
+	cw.write([]byte(s))
+}
+
+// Write serializes g to w.
+func Write(w io.Writer, g *graph.EntityGraph) error {
+	cw := &crcWriter{w: bufio.NewWriter(w), crc: crc32.New(castagnoli)}
+	cw.write(magic[:])
+	cw.uvarint(Version)
+
+	cw.uvarint(uint64(g.NumTypes()))
+	for i := 0; i < g.NumTypes(); i++ {
+		cw.str(g.TypeName(graph.TypeID(i)))
+	}
+	cw.uvarint(uint64(g.NumRelTypes()))
+	for i := 0; i < g.NumRelTypes(); i++ {
+		rt := g.RelType(graph.RelTypeID(i))
+		cw.str(rt.Name)
+		cw.uvarint(uint64(rt.From))
+		cw.uvarint(uint64(rt.To))
+	}
+	cw.uvarint(uint64(g.NumEntities()))
+	for i := 0; i < g.NumEntities(); i++ {
+		e := g.Entity(graph.EntityID(i))
+		cw.str(e.Name)
+		cw.uvarint(uint64(len(e.Types)))
+		for _, t := range e.Types {
+			cw.uvarint(uint64(t))
+		}
+	}
+	cw.uvarint(uint64(g.NumEdges()))
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		cw.uvarint(uint64(e.From))
+		cw.uvarint(uint64(e.Rel))
+		cw.uvarint(uint64(e.To))
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	// Trailing checksum (not itself checksummed).
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], cw.crc.Sum32())
+	if _, err := cw.w.Write(sum[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (cr *crcReader) read(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		return err
+	}
+	cr.crc.Write(p)
+	return nil
+}
+
+func (cr *crcReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(cr)
+}
+
+func (cr *crcReader) str(max uint64) (string, error) {
+	n, err := cr.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > max {
+		return "", fmt.Errorf("%w: string length %d exceeds limit", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if err := cr.read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Read deserializes a snapshot. The checksum is verified and the graph is
+// rebuilt through the standard Builder, so a successfully read snapshot is
+// structurally valid.
+func Read(r io.Reader) (*graph.EntityGraph, error) {
+	cr := &crcReader{r: bufio.NewReader(r), crc: crc32.New(castagnoli)}
+	var m [4]byte
+	if err := cr.read(m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ver, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", ver)
+	}
+
+	const maxName = 1 << 20
+	var b graph.Builder
+
+	nTypes, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nTypes > 1<<24 {
+		return nil, fmt.Errorf("%w: type count %d", ErrCorrupt, nTypes)
+	}
+	types := make([]graph.TypeID, nTypes)
+	for i := range types {
+		name, err := cr.str(maxName)
+		if err != nil {
+			return nil, err
+		}
+		types[i] = b.Type(name)
+	}
+
+	nRels, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nRels > 1<<24 {
+		return nil, fmt.Errorf("%w: relationship count %d", ErrCorrupt, nRels)
+	}
+	rels := make([]graph.RelTypeID, nRels)
+	for i := range rels {
+		name, err := cr.str(maxName)
+		if err != nil {
+			return nil, err
+		}
+		from, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		to, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if from >= nTypes || to >= nTypes {
+			return nil, fmt.Errorf("%w: relationship endpoint out of range", ErrCorrupt)
+		}
+		rels[i] = b.RelType(name, types[from], types[to])
+	}
+
+	nEnts, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nEnts > 1<<31 {
+		return nil, fmt.Errorf("%w: entity count %d", ErrCorrupt, nEnts)
+	}
+	ents := make([]graph.EntityID, nEnts)
+	for i := range ents {
+		name, err := cr.str(maxName)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nt == 0 || nt > nTypes {
+			return nil, fmt.Errorf("%w: entity type count %d", ErrCorrupt, nt)
+		}
+		ts := make([]graph.TypeID, nt)
+		for j := range ts {
+			t, err := cr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if t >= nTypes {
+				return nil, fmt.Errorf("%w: entity type out of range", ErrCorrupt)
+			}
+			ts[j] = types[t]
+		}
+		ents[i] = b.Entity(name, ts...)
+	}
+
+	nEdges, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nEdges > 1<<31 {
+		return nil, fmt.Errorf("%w: edge count %d", ErrCorrupt, nEdges)
+	}
+	for i := uint64(0); i < nEdges; i++ {
+		from, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rel, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		to, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if from >= nEnts || to >= nEnts || rel >= nRels {
+			return nil, fmt.Errorf("%w: edge reference out of range", ErrCorrupt)
+		}
+		b.Edge(ents[from], ents[to], rels[rel])
+	}
+
+	want := cr.crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(cr.r, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	if binary.BigEndian.Uint32(sum[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return b.Build()
+}
+
+// SaveFile writes a snapshot to path, atomically via a temp file rename.
+func SaveFile(path string, g *graph.EntityGraph) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*graph.EntityGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,205 @@
+package study
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/freebase"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/yps09"
+)
+
+// Presentation is what a participant sees under one approach: the set of
+// relationship types exposed as attributes somewhere in the presentation,
+// and two derived signals the behavioral model consumes — Coverage (the
+// fraction of all relationship types visible; completeness) and Load (the
+// column count normalized by the full schema's size; scanning effort).
+type Presentation struct {
+	Approach    Approach
+	VisibleRels map[graph.RelTypeID]bool
+	Columns     int
+	Coverage    float64
+	Load        float64
+	// AvgKeyDistance is the mean pairwise schema distance between the
+	// presentation's keyed entity types (for the full graph: between all
+	// types). Scanning related concepts is faster than hopping between
+	// distant ones — the behavioral hypothesis behind the paper's finding
+	// that tight previews were the most convenient (Table 6).
+	AvgKeyDistance float64
+}
+
+// BuildPresentations constructs all seven approaches' presentations for one
+// gold domain. The preview approaches run the actual discovery algorithms
+// under the domain's gold-standard size constraint (k, n); Tight uses d=2
+// and Diverse d=4 (the sample-preview settings of Tables 11–12), falling
+// back toward the feasible range if a constraint is unsatisfiable on the
+// generated schema.
+func BuildPresentations(g *graph.EntityGraph, domain string) (map[Approach]*Presentation, error) {
+	k, n := freebase.GoldSize(domain)
+	if k == 0 {
+		return nil, fmt.Errorf("study: domain %q has no gold standard", domain)
+	}
+	set := score.Compute(g, score.DefaultWalkOptions())
+	d := core.New(set, core.Options{Key: score.KeyCoverage, NonKey: score.NonKeyCoverage})
+	totalCols := g.NumTypes() + g.NumRelTypes()
+	distances := d.Distances()
+	avgDist := func(keys []graph.TypeID) float64 {
+		var sum, cnt float64
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if dd := distances.Dist(keys[i], keys[j]); dd >= 0 {
+					sum += float64(dd)
+					cnt++
+				}
+			}
+		}
+		if cnt == 0 {
+			return 1
+		}
+		return sum / cnt
+	}
+
+	pres := make(map[Approach]*Presentation, 7)
+	add := func(a Approach, rels map[graph.RelTypeID]bool, columns int, keys []graph.TypeID) {
+		pres[a] = &Presentation{
+			Approach:       a,
+			VisibleRels:    rels,
+			Columns:        columns,
+			Coverage:       float64(len(rels)) / float64(g.NumRelTypes()),
+			Load:           float64(columns) / float64(totalCols),
+			AvgKeyDistance: avgDist(keys),
+		}
+	}
+
+	addPreview := func(a Approach, p core.Preview) {
+		rels := make(map[graph.RelTypeID]bool)
+		cols := 0
+		for _, t := range p.Tables {
+			cols++ // key column
+			for _, c := range t.NonKeys {
+				rels[c.Inc.Rel] = true
+				cols++
+			}
+		}
+		add(a, rels, cols, p.Keys())
+	}
+
+	// Concise preview.
+	pc, err := d.Discover(core.Constraint{K: k, N: n, Mode: core.Concise})
+	if err != nil {
+		return nil, fmt.Errorf("study: concise preview for %s: %w", domain, err)
+	}
+	addPreview(Concise, pc)
+
+	// Tight preview: d=2, relaxing upward if infeasible.
+	pt, err := discoverWithFallback(d, core.Constraint{K: k, N: n, Mode: core.Tight, D: 2}, []int{3, 4, 5})
+	if err != nil {
+		return nil, fmt.Errorf("study: tight preview for %s: %w", domain, err)
+	}
+	addPreview(Tight, pt)
+
+	// Diverse preview: d=4, relaxing downward if infeasible.
+	pd, err := discoverWithFallback(d, core.Constraint{K: k, N: n, Mode: core.Diverse, D: 4}, []int{3, 2, 1})
+	if err != nil {
+		return nil, fmt.Errorf("study: diverse preview for %s: %w", domain, err)
+	}
+	addPreview(Diverse, pd)
+
+	// Freebase gold standard: Table 10 verbatim.
+	goldRels := make(map[graph.RelTypeID]bool)
+	goldCols := 0
+	var goldKeyIDs []graph.TypeID
+	for _, key := range freebase.GoldKeys(domain) {
+		tid, ok := g.TypeByName(key)
+		if !ok {
+			return nil, fmt.Errorf("study: gold key %q missing in %s", key, domain)
+		}
+		goldKeyIDs = append(goldKeyIDs, tid)
+		goldCols++
+		incidentByName := make(map[string]graph.RelTypeID)
+		for _, r := range g.IncidentRelTypes(tid) {
+			incidentByName[g.RelType(r).Name] = r
+		}
+		for _, nk := range freebase.GoldNonKeys(domain, key) {
+			if r, ok := incidentByName[nk]; ok {
+				goldRels[r] = true
+				goldCols++
+			}
+		}
+	}
+	add(FreebaseGold, goldRels, goldCols, goldKeyIDs)
+
+	// Experts: the expert key attributes under the same (k, n) budget,
+	// attributes chosen by the discovery machinery (the experts also picked
+	// "reasonable" attributes for their keys).
+	expertIDs := make([]graph.TypeID, 0, k)
+	for _, name := range freebase.ExpertKeys(domain) {
+		tid, ok := g.TypeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("study: expert key %q missing in %s", name, domain)
+		}
+		expertIDs = append(expertIDs, tid)
+	}
+	pe, err := d.ComputePreview(expertIDs, n)
+	if err != nil {
+		return nil, fmt.Errorf("study: experts preview for %s: %w", domain, err)
+	}
+	addPreview(Experts, pe)
+
+	// YPS09: k cluster-center tables, each with every incident relationship
+	// (Sec. 6.3: "the table for each entity type includes all relationships
+	// incident on the entity type ... the tables are wide").
+	y := yps09.New(g)
+	clusters, err := y.Summarize(k)
+	if err != nil {
+		return nil, fmt.Errorf("study: yps09 summary for %s: %w", domain, err)
+	}
+	yRels := make(map[graph.RelTypeID]bool)
+	yCols := 0
+	var centers []graph.TypeID
+	for _, c := range clusters {
+		centers = append(centers, c.Center)
+		yCols += y.TableWidth(c.Center)
+		for _, r := range g.IncidentRelTypes(c.Center) {
+			yRels[r] = true
+		}
+	}
+	add(YPS09, yRels, yCols, centers)
+
+	// Graph: the full schema graph.
+	allRels := make(map[graph.RelTypeID]bool, g.NumRelTypes())
+	allTypes := make([]graph.TypeID, g.NumTypes())
+	for i := 0; i < g.NumRelTypes(); i++ {
+		allRels[graph.RelTypeID(i)] = true
+	}
+	for i := range allTypes {
+		allTypes[i] = graph.TypeID(i)
+	}
+	add(SchemaGraph, allRels, totalCols, allTypes)
+
+	return pres, nil
+}
+
+// discoverWithFallback tries the constraint and then each fallback distance
+// until one is satisfiable.
+func discoverWithFallback(d *core.Discoverer, c core.Constraint, fallbacks []int) (core.Preview, error) {
+	p, err := d.Discover(c)
+	if err == nil {
+		return p, nil
+	}
+	if !errors.Is(err, core.ErrNoPreview) {
+		return core.Preview{}, err
+	}
+	for _, fd := range fallbacks {
+		c.D = fd
+		if p, err = d.Discover(c); err == nil {
+			return p, nil
+		}
+		if !errors.Is(err, core.ErrNoPreview) {
+			return core.Preview{}, err
+		}
+	}
+	return core.Preview{}, err
+}

@@ -1,0 +1,245 @@
+package study_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/freebase"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/stats"
+	"github.com/uta-db/previewtables/internal/study"
+)
+
+func testGraph(t *testing.T, domain string) *graph.EntityGraph {
+	t.Helper()
+	g, err := freebase.Generate(domain, freebase.GenOptions{Scale: 1e-4, Seed: 99, MinEntities: 500, MinEdges: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApproachNames(t *testing.T) {
+	want := []string{"Concise", "Tight", "Diverse", "Freebase", "Experts", "YPS09", "Graph"}
+	for i, a := range study.Approaches() {
+		if a.String() != want[i] {
+			t.Errorf("approach %d = %s, want %s", i, a, want[i])
+		}
+		back, ok := study.ParseApproach(want[i])
+		if !ok || back != a {
+			t.Errorf("ParseApproach(%s) = %v, %v", want[i], back, ok)
+		}
+	}
+	if _, ok := study.ParseApproach("Nope"); ok {
+		t.Error("unknown approach parsed")
+	}
+}
+
+func TestBuildPresentations(t *testing.T) {
+	g := testGraph(t, "film")
+	pres, err := study.BuildPresentations(g, "film")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres) != 7 {
+		t.Fatalf("presentations = %d, want 7", len(pres))
+	}
+	// The full graph shows everything.
+	sg := pres[study.SchemaGraph]
+	if sg.Coverage != 1 || sg.Load != 1 {
+		t.Errorf("Graph coverage/load = %v/%v, want 1/1", sg.Coverage, sg.Load)
+	}
+	// Preview approaches are compact.
+	for _, a := range []study.Approach{study.Concise, study.Tight, study.Diverse, study.FreebaseGold, study.Experts} {
+		p := pres[a]
+		if p.Load >= 0.5 {
+			t.Errorf("%s load = %v, want compact (< 0.5)", a, p.Load)
+		}
+		if len(p.VisibleRels) == 0 {
+			t.Errorf("%s shows no relationships", a)
+		}
+	}
+	// YPS09's wide tables sit between previews and the full graph.
+	y := pres[study.YPS09]
+	if y.Columns <= pres[study.Concise].Columns {
+		t.Errorf("YPS09 columns (%d) should exceed Concise (%d): wide tables",
+			y.Columns, pres[study.Concise].Columns)
+	}
+	if y.Load >= 1 {
+		t.Errorf("YPS09 load = %v, want < 1", y.Load)
+	}
+}
+
+func TestPresentationsForAllGoldDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, domain := range freebase.GoldDomains() {
+		g := testGraph(t, domain)
+		if _, err := study.BuildPresentations(g, domain); err != nil {
+			t.Errorf("%s: %v", domain, err)
+		}
+	}
+}
+
+func TestBuildPresentationsRequiresGold(t *testing.T) {
+	g := testGraph(t, "basketball")
+	if _, err := study.BuildPresentations(g, "basketball"); err == nil {
+		t.Error("domain without gold standard should fail")
+	}
+}
+
+func TestGenerateQuestions(t *testing.T) {
+	g := testGraph(t, "tv")
+	rng := rand.New(rand.NewSource(5))
+	qs, err := study.GenerateQuestions(g, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 4 {
+		t.Fatalf("questions = %d, want 4", len(qs))
+	}
+	var pos, neg int
+	seen := map[graph.RelTypeID]bool{}
+	for _, q := range qs {
+		if q.Text == "" {
+			t.Error("empty question text")
+		}
+		if q.Positive {
+			pos++
+			if seen[q.Rel] {
+				t.Error("positive fact repeated")
+			}
+			seen[q.Rel] = true
+		} else {
+			neg++
+		}
+	}
+	if pos != 2 || neg != 2 {
+		t.Errorf("positive/negative = %d/%d, want 2/2", pos, neg)
+	}
+}
+
+func TestRunDomain(t *testing.T) {
+	g := testGraph(t, "music")
+	results, err := study.RunDomain(g, "music", study.Config{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("results = %d, want 7", len(results))
+	}
+	wantResponses := map[study.Approach]int{
+		study.Concise: 52, study.Tight: 48, study.Diverse: 52,
+		study.FreebaseGold: 44, study.Experts: 48, study.YPS09: 52,
+		study.SchemaGraph: 40,
+	}
+	for _, r := range results {
+		if r.Responses != wantResponses[r.Approach] {
+			t.Errorf("%s responses = %d, want %d (Table 5 sample sizes)",
+				r.Approach, r.Responses, wantResponses[r.Approach])
+		}
+		c := r.ConversionRate()
+		if c < 0.4 || c > 1 {
+			t.Errorf("%s conversion = %v, outside plausible band", r.Approach, c)
+		}
+		if len(r.Times) != r.Responses {
+			t.Errorf("%s times = %d, want %d", r.Approach, len(r.Times), r.Responses)
+		}
+		for _, tm := range r.Times {
+			if tm <= 0 {
+				t.Errorf("%s non-positive time %v", r.Approach, tm)
+			}
+		}
+	}
+}
+
+func TestRunDomainDeterministic(t *testing.T) {
+	g := testGraph(t, "people")
+	a, err := study.RunDomain(g, "people", study.Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := study.RunDomain(g, "people", study.Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Correct != b[i].Correct || len(a[i].Times) != len(b[i].Times) {
+			t.Fatal("same seed, different study outcome")
+		}
+	}
+}
+
+func TestCompactApproachesFasterThanGraph(t *testing.T) {
+	// The shape of Table 6 / Fig. 10: preview-style presentations take less
+	// median time than the full schema graph and the wide YPS09 tables.
+	g := testGraph(t, "film")
+	results, err := study.RunDomain(g, "film", study.Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	medians := map[study.Approach]float64{}
+	for _, r := range results {
+		medians[r.Approach] = stats.Median(r.Times)
+	}
+	if medians[study.Tight] >= medians[study.SchemaGraph] {
+		t.Errorf("Tight median (%v) should beat Graph (%v)", medians[study.Tight], medians[study.SchemaGraph])
+	}
+	if medians[study.FreebaseGold] >= medians[study.YPS09] {
+		t.Errorf("Freebase median (%v) should beat YPS09 (%v)", medians[study.FreebaseGold], medians[study.YPS09])
+	}
+}
+
+func TestConversionRateZeroResponses(t *testing.T) {
+	var r study.ApproachResult
+	if r.ConversionRate() != 0 {
+		t.Error("zero responses should yield 0 conversion")
+	}
+}
+
+func TestLikertCalibration(t *testing.T) {
+	// The embedded calibration equals the paper's Table 19 (music) values.
+	means, ok := study.PaperLikertMeans("music", study.YPS09)
+	if !ok {
+		t.Fatal("music YPS09 means missing")
+	}
+	want := [4]float64{4.3077, 4.5385, 4.4615, 3.8333}
+	if means != want {
+		t.Errorf("music YPS09 = %v, want %v", means, want)
+	}
+	if _, ok := study.PaperLikertMeans("cooking", study.Tight); ok {
+		t.Error("unknown domain should report !ok")
+	}
+	if len(study.LikertDomains()) != 5 {
+		t.Error("want 5 calibrated domains")
+	}
+}
+
+func TestSimulateLikert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	got, ok := study.SimulateLikert("books", study.Tight, 200, rng)
+	if !ok {
+		t.Fatal("books Tight missing")
+	}
+	want, _ := study.PaperLikertMeans("books", study.Tight)
+	for q := 0; q < 4; q++ {
+		if got[q] < 1 || got[q] > 5 {
+			t.Errorf("Q%d mean %v out of Likert range", q+1, got[q])
+		}
+		if diff := got[q] - want[q]; diff > 0.35 || diff < -0.35 {
+			t.Errorf("Q%d simulated mean %v far from calibration %v", q+1, got[q], want[q])
+		}
+	}
+	if _, ok := study.SimulateLikert("nope", study.Tight, 10, rng); ok {
+		t.Error("unknown domain should report !ok")
+	}
+}
+
+func TestUserExperienceQuestionsPresent(t *testing.T) {
+	for i, q := range study.UserExperienceQuestions {
+		if q == "" {
+			t.Errorf("question %d empty", i+1)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package triple reads and writes entity graphs as text triples. Entity
+// graphs "are often represented as RDF triples" (Sec. 1); this package
+// provides the loading path a data worker would use before previewing a
+// dataset:
+//
+//   - a line-oriented native format (see Marshal) that round-trips every
+//     feature of the data model (multi-typed entities, parallel
+//     relationship types sharing a surface name);
+//   - an N-Triples-subset reader (ReadNTriples) for third-party dumps,
+//     mapping rdf:type statements to entity types and other predicates to
+//     relationship types, with optional dropping of literal objects —
+//     mirroring the paper's preprocessing, which removed all numeric
+//     attribute values and kept named entities only.
+package triple
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/uta-db/previewtables/internal/graph"
+)
+
+// Native format:
+//
+//	# comment
+//	type <TypeName>
+//	rel <RelName> <FromType> <ToType>
+//	entity <Name> <Type> [<Type>...]
+//	edge <From> <RelName> <FromType> <ToType> <To>
+//
+// Every field is quoted with strconv.Quote, so names may contain spaces.
+
+// Marshal writes g in the native format. Declarations are emitted in a
+// deterministic order (types, relationship types, entities, edges) so equal
+// graphs marshal identically.
+func Marshal(w io.Writer, g *graph.EntityGraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# entity graph: %s\n", g.Stats())
+	for i := 0; i < g.NumTypes(); i++ {
+		fmt.Fprintf(bw, "type %s\n", strconv.Quote(g.TypeName(graph.TypeID(i))))
+	}
+	for i := 0; i < g.NumRelTypes(); i++ {
+		rt := g.RelType(graph.RelTypeID(i))
+		fmt.Fprintf(bw, "rel %s %s %s\n",
+			strconv.Quote(rt.Name),
+			strconv.Quote(g.TypeName(rt.From)),
+			strconv.Quote(g.TypeName(rt.To)))
+	}
+	for i := 0; i < g.NumEntities(); i++ {
+		e := g.Entity(graph.EntityID(i))
+		fmt.Fprintf(bw, "entity %s", strconv.Quote(e.Name))
+		for _, t := range e.Types {
+			fmt.Fprintf(bw, " %s", strconv.Quote(g.TypeName(t)))
+		}
+		fmt.Fprintln(bw)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		rt := g.RelType(e.Rel)
+		fmt.Fprintf(bw, "edge %s %s %s %s %s\n",
+			strconv.Quote(g.EntityName(e.From)),
+			strconv.Quote(rt.Name),
+			strconv.Quote(g.TypeName(rt.From)),
+			strconv.Quote(g.TypeName(rt.To)),
+			strconv.Quote(g.EntityName(e.To)))
+	}
+	return bw.Flush()
+}
+
+// ParseError reports a malformed line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("triple: line %d: %s", e.Line, e.Msg)
+}
+
+// Unmarshal reads a native-format graph.
+func Unmarshal(r io.Reader) (*graph.EntityGraph, error) {
+	var b graph.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, &ParseError{lineNo, err.Error()}
+		}
+		switch fields[0] {
+		case "type":
+			if len(fields) != 2 {
+				return nil, &ParseError{lineNo, "type wants 1 argument"}
+			}
+			b.Type(fields[1])
+		case "rel":
+			if len(fields) != 4 {
+				return nil, &ParseError{lineNo, "rel wants 3 arguments"}
+			}
+			b.RelType(fields[1], b.Type(fields[2]), b.Type(fields[3]))
+		case "entity":
+			if len(fields) < 3 {
+				return nil, &ParseError{lineNo, "entity wants a name and at least one type"}
+			}
+			types := make([]graph.TypeID, 0, len(fields)-2)
+			for _, t := range fields[2:] {
+				types = append(types, b.Type(t))
+			}
+			b.Entity(fields[1], types...)
+		case "edge":
+			if len(fields) != 6 {
+				return nil, &ParseError{lineNo, "edge wants 5 arguments"}
+			}
+			from := b.Type(fields[3])
+			to := b.Type(fields[4])
+			rel := b.RelType(fields[2], from, to)
+			b.Edge(b.Entity(fields[1], from), b.Entity(fields[5], to), rel)
+		default:
+			return nil, &ParseError{lineNo, fmt.Sprintf("unknown directive %q", fields[0])}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// splitQuoted tokenizes a line of space-separated, possibly quoted fields.
+func splitQuoted(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			// Find the closing quote, honoring escapes.
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			s, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoting: %v", err)
+			}
+			fields = append(fields, s)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' {
+				j++
+			}
+			fields = append(fields, line[i:j])
+			i = j
+		}
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return fields, nil
+}
+
+// NTriplesOptions configures ReadNTriples.
+type NTriplesOptions struct {
+	// TypePredicates are the predicate IRIs treated as type assertions.
+	// Defaults to rdf:type (both full IRI and the common "a" shorthand).
+	TypePredicates []string
+	// DropLiterals discards statements whose object is a literal ("...")
+	// rather than an IRI — the paper's preprocessing removed all numeric
+	// attribute values; enable this to keep named entities only.
+	DropLiterals bool
+	// DefaultType is assigned to subjects/objects that never receive an
+	// explicit type (entity graphs require every entity to have one).
+	// Defaults to "Thing".
+	DefaultType string
+}
+
+// ReadNTriples parses a subset of N-Triples: lines of
+// `<subject> <predicate> <object> .` with IRIs in angle brackets and
+// literals in double quotes. Relationship types are keyed by
+// (predicate, subject type, object type) using each entity's first declared
+// type, mirroring the paper's model where a relationship type determines
+// its endpoint types.
+func ReadNTriples(r io.Reader, opts NTriplesOptions) (*graph.EntityGraph, error) {
+	if opts.DefaultType == "" {
+		opts.DefaultType = "Thing"
+	}
+	typePreds := map[string]bool{
+		"http://www.w3.org/1999/02/22-rdf-syntax-ns#type": true,
+		"a": true,
+	}
+	for _, p := range opts.TypePredicates {
+		typePreds[p] = true
+	}
+
+	type stmt struct{ s, p, o string }
+	var typeStmts, relStmts []stmt
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, p, o, isLit, err := parseNTriple(line)
+		if err != nil {
+			return nil, &ParseError{lineNo, err.Error()}
+		}
+		if typePreds[p] {
+			if isLit {
+				return nil, &ParseError{lineNo, "type object must be an IRI"}
+			}
+			typeStmts = append(typeStmts, stmt{s, p, o})
+			continue
+		}
+		if isLit {
+			if opts.DropLiterals {
+				continue
+			}
+			return nil, &ParseError{lineNo, "literal object (enable DropLiterals to skip)"}
+		}
+		relStmts = append(relStmts, stmt{s, p, o})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	var b graph.Builder
+	firstType := map[string]graph.TypeID{}
+	for _, st := range typeStmts {
+		t := b.Type(st.o)
+		b.Entity(st.s, t)
+		if _, ok := firstType[st.s]; !ok {
+			firstType[st.s] = t
+		}
+	}
+	def := graph.TypeID(graph.None)
+	typeOf := func(name string) graph.TypeID {
+		if t, ok := firstType[name]; ok {
+			return t
+		}
+		if def == graph.None {
+			def = b.Type(opts.DefaultType)
+		}
+		firstType[name] = def
+		return def
+	}
+	for _, st := range relStmts {
+		ft := typeOf(st.s)
+		tt := typeOf(st.o)
+		rel := b.RelType(st.p, ft, tt)
+		b.Edge(b.Entity(st.s, ft), b.Entity(st.o, tt), rel)
+	}
+	return b.Build()
+}
+
+// parseNTriple splits one statement into subject, predicate, object.
+func parseNTriple(line string) (s, p, o string, literal bool, err error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ".")
+	line = strings.TrimSpace(line)
+	rest := line
+	s, rest, err = takeIRI(rest)
+	if err != nil {
+		return "", "", "", false, fmt.Errorf("subject: %v", err)
+	}
+	p, rest, err = takeIRI(rest)
+	if err != nil {
+		return "", "", "", false, fmt.Errorf("predicate: %v", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", "", false, fmt.Errorf("missing object")
+	}
+	if rest[0] == '"' {
+		// Literal: take through the closing quote, ignore datatype/lang tags.
+		j := 1
+		for j < len(rest) {
+			if rest[j] == '\\' {
+				j += 2
+				continue
+			}
+			if rest[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(rest) {
+			return "", "", "", false, fmt.Errorf("unterminated literal")
+		}
+		return s, p, rest[1:j], true, nil
+	}
+	o, rest, err = takeIRI(rest)
+	if err != nil {
+		return "", "", "", false, fmt.Errorf("object: %v", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return "", "", "", false, fmt.Errorf("trailing content %q", rest)
+	}
+	return s, p, o, false, nil
+}
+
+func takeIRI(s string) (iri, rest string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", "", fmt.Errorf("missing term")
+	}
+	if s[0] == '<' {
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated IRI")
+		}
+		return s[1:end], s[end+1:], nil
+	}
+	// Bare token (e.g. the "a" shorthand).
+	end := strings.IndexByte(s, ' ')
+	if end < 0 {
+		return s, "", nil
+	}
+	return s[:end], s[end:], nil
+}
+
+// SortedTypeNames returns the graph's entity type names sorted, a
+// convenience for deterministic test assertions on loaded graphs.
+func SortedTypeNames(g *graph.EntityGraph) []string {
+	names := make([]string, g.NumTypes())
+	for i := range names {
+		names[i] = g.TypeName(graph.TypeID(i))
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,202 @@
+package triple_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/triple"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	g := fig1.Graph()
+	var buf bytes.Buffer
+	if err := triple.Marshal(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := triple.Unmarshal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats() != g2.Stats() {
+		t.Errorf("round trip stats: %v vs %v", g.Stats(), g2.Stats())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("round-tripped graph invalid: %v", err)
+	}
+	// Multi-typed entity survives.
+	will, ok := g2.EntityByName("Will Smith")
+	if !ok {
+		t.Fatal("Will Smith lost in round trip")
+	}
+	if len(g2.Entity(will).Types) != 2 {
+		t.Errorf("Will Smith types = %d, want 2", len(g2.Entity(will).Types))
+	}
+	// Parallel relationship types sharing a surface name survive distinctly.
+	var awardRels int
+	for i := 0; i < g2.NumRelTypes(); i++ {
+		if g2.RelType(graph.RelTypeID(i)).Name == fig1.RelAwardWinners {
+			awardRels++
+		}
+	}
+	if awardRels != 2 {
+		t.Errorf("Award Winners relationship types = %d, want 2", awardRels)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	g := fig1.Graph()
+	var a, b bytes.Buffer
+	if err := triple.Marshal(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := triple.Marshal(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("marshal not deterministic")
+	}
+}
+
+func TestUnmarshalQuotedNames(t *testing.T) {
+	src := `
+# a tiny graph
+type "FILM ACTOR"
+type "FILM"
+rel "Actor" "FILM ACTOR" "FILM"
+entity "Will \"The Fresh Prince\" Smith" "FILM ACTOR"
+edge "Will \"The Fresh Prince\" Smith" "Actor" "FILM ACTOR" "FILM" "Men in Black"
+`
+	g, err := triple.Unmarshal(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.NumEntities() != 2 {
+		t.Errorf("stats = %v", g.Stats())
+	}
+	if _, ok := g.EntityByName(`Will "The Fresh Prince" Smith`); !ok {
+		t.Error("escaped quotes mishandled")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":  `frobnicate "x"`,
+		"type arity":         `type`,
+		"rel arity":          `rel "r" "a"`,
+		"entity needs type":  `entity "x"`,
+		"edge arity":         `edge "a" "r" "T" "U"`,
+		"unterminated quote": `type "oops`,
+	}
+	for name, src := range cases {
+		if _, err := triple.Unmarshal(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	src := "type \"A\"\nbogus line here\n"
+	_, err := triple.Unmarshal(strings.NewReader(src))
+	pe, ok := err.(*triple.ParseError)
+	if !ok {
+		t.Fatalf("err = %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if pe.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestReadNTriples(t *testing.T) {
+	src := `
+<will> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <FilmActor> .
+<mib> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Film> .
+<will> <actedIn> <mib> .
+<will> <age> "47" .
+`
+	g, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{DropLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEntities() != 2 || g.NumEdges() != 1 || g.NumTypes() != 2 {
+		t.Errorf("stats = %v", g.Stats())
+	}
+	names := triple.SortedTypeNames(g)
+	if names[0] != "Film" || names[1] != "FilmActor" {
+		t.Errorf("types = %v", names)
+	}
+}
+
+func TestReadNTriplesLiteralRejected(t *testing.T) {
+	src := `<a> <p> "literal" .`
+	if _, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{}); err == nil {
+		t.Error("literal object without DropLiterals should fail")
+	}
+}
+
+func TestReadNTriplesDefaultType(t *testing.T) {
+	// Untyped subjects get the default type so the graph stays valid.
+	src := `<a> <knows> <b> .`
+	g, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTypes() != 1 || g.TypeName(0) != "Thing" {
+		t.Errorf("types = %v", triple.SortedTypeNames(g))
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadNTriplesAShorthand(t *testing.T) {
+	src := `
+<x> a <Widget> .
+<y> a <Widget> .
+<x> <next> <y> .
+`
+	g, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTypes() != 1 || g.NumEdges() != 1 {
+		t.Errorf("stats = %v", g.Stats())
+	}
+}
+
+func TestReadNTriplesRelTypePerEndpointPair(t *testing.T) {
+	// The same predicate between different type pairs becomes different
+	// relationship types (the paper's model).
+	src := `
+<a1> a <A> .
+<b1> a <B> .
+<c1> a <C> .
+<a1> <linked> <b1> .
+<a1> <linked> <c1> .
+`
+	g, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRelTypes() != 2 {
+		t.Errorf("relationship types = %d, want 2", g.NumRelTypes())
+	}
+}
+
+func TestReadNTriplesMalformed(t *testing.T) {
+	for _, src := range []string{
+		`<a> <p>`,
+		`<a <p> <b> .`,
+		`<a> <p> "unterminated .`,
+		`<a> <p> <b> <extra> .`,
+	} {
+		if _, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{DropLiterals: true}); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}

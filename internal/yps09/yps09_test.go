@@ -1,0 +1,221 @@
+package yps09_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/yps09"
+)
+
+func fig1Summarizer(t *testing.T) (*graph.EntityGraph, *yps09.Summarizer) {
+	t.Helper()
+	g := fig1.Graph()
+	return g, yps09.New(g)
+}
+
+func TestImportanceDistribution(t *testing.T) {
+	g, y := fig1Summarizer(t)
+	var sum float64
+	for i := 0; i < g.NumTypes(); i++ {
+		p := y.Importance(graph.TypeID(i))
+		if p < 0 {
+			t.Errorf("negative importance for %s: %v", g.TypeName(graph.TypeID(i)), p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %v, want 1", sum)
+	}
+}
+
+func TestHubTableRanksHigh(t *testing.T) {
+	// FILM joins every other table and has the widest schema: it must rank
+	// in the top two by YPS09 importance.
+	g, y := fig1Summarizer(t)
+	ranked := y.RankTables()
+	top2 := map[string]bool{
+		g.TypeName(ranked[0]): true,
+		g.TypeName(ranked[1]): true,
+	}
+	if !top2[fig1.Film] {
+		t.Errorf("FILM not in top-2 YPS09 tables: %v", top2)
+	}
+}
+
+func TestRankTablesDeterministic(t *testing.T) {
+	_, y := fig1Summarizer(t)
+	a := y.RankTables()
+	b := y.RankTables()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	g, y := fig1Summarizer(t)
+	n := g.NumTypes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			da := y.Distance(graph.TypeID(a), graph.TypeID(b))
+			db := y.Distance(graph.TypeID(b), graph.TypeID(a))
+			if da != db {
+				t.Errorf("distance not symmetric for (%d,%d): %v vs %v", a, b, da, db)
+			}
+			if a == b && da != 0 {
+				t.Errorf("self distance = %v, want 0", da)
+			}
+			if da < 0 || da > 1 {
+				t.Errorf("distance out of [0,1]: %v", da)
+			}
+		}
+	}
+}
+
+func TestJoinedTablesCloserThanUnjoined(t *testing.T) {
+	g, y := fig1Summarizer(t)
+	film, _ := g.TypeByName(fig1.Film)
+	director, _ := g.TypeByName(fig1.FilmDirector)
+	genre, _ := g.TypeByName(fig1.FilmGenre)
+	award, _ := g.TypeByName(fig1.Award)
+	joined := y.Distance(film, director)
+	unjoined := y.Distance(genre, award)
+	if joined >= unjoined {
+		t.Errorf("joined tables (%v) should be closer than unjoined (%v)", joined, unjoined)
+	}
+	if unjoined != 1 {
+		t.Errorf("unjoined distance = %v, want 1", unjoined)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g, y := fig1Summarizer(t)
+	clusters, err := y.Summarize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	seenCenter := map[graph.TypeID]bool{}
+	var members int
+	for _, c := range clusters {
+		if seenCenter[c.Center] {
+			t.Error("duplicate cluster center")
+		}
+		seenCenter[c.Center] = true
+		members += len(c.Members)
+		found := false
+		for _, m := range c.Members {
+			if m == c.Center {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("center %s not among its own members", g.TypeName(c.Center))
+		}
+	}
+	if members != g.NumTypes() {
+		t.Errorf("clusters cover %d tables, want all %d", members, g.NumTypes())
+	}
+}
+
+func TestSummarizeKEqualsN(t *testing.T) {
+	g, y := fig1Summarizer(t)
+	clusters, err := y.Summarize(g.NumTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = n: every table may become its own center, unless some table is at
+	// distance 0 from an existing center; clusters still cover everything.
+	var members int
+	for _, c := range clusters {
+		members += len(c.Members)
+	}
+	if members != g.NumTypes() {
+		t.Errorf("coverage = %d, want %d", members, g.NumTypes())
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	_, y := fig1Summarizer(t)
+	if _, err := y.Summarize(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := y.Summarize(99); err == nil {
+		t.Error("k beyond table count should fail")
+	}
+}
+
+func TestTableWidth(t *testing.T) {
+	g, y := fig1Summarizer(t)
+	film, _ := g.TypeByName(fig1.Film)
+	// FILM: key column + 5 incident relationship columns.
+	if w := y.TableWidth(film); w != 6 {
+		t.Errorf("width(FILM) = %d, want 6", w)
+	}
+}
+
+func TestFirstCenterIsMostImportant(t *testing.T) {
+	_, y := fig1Summarizer(t)
+	clusters, err := y.Summarize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters[0].Center != y.RankTables()[0] {
+		t.Error("first center should be the most important table")
+	}
+}
+
+func TestSummarizerOnRandomGraphs(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b graph.Builder
+		nTypes := rng.Intn(6) + 2
+		types := make([]graph.TypeID, nTypes)
+		for i := range types {
+			types[i] = b.Type("T" + string(rune('A'+i)))
+		}
+		var rels []graph.RelTypeID
+		for i := 0; i < rng.Intn(10)+1; i++ {
+			rels = append(rels, b.RelType("r"+string(rune('0'+i)), types[rng.Intn(nTypes)], types[rng.Intn(nTypes)]))
+		}
+		var ents []graph.EntityID
+		for i := 0; i < rng.Intn(20)+2; i++ {
+			ents = append(ents, b.Entity("e"+string(rune('a'+i%26))+string(rune('0'+i/26)), types[rng.Intn(nTypes)]))
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			b.Edge(ents[rng.Intn(len(ents))], ents[rng.Intn(len(ents))], rels[rng.Intn(len(rels))])
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		y := yps09.New(g)
+		var sum float64
+		for i := 0; i < nTypes; i++ {
+			sum += y.Importance(graph.TypeID(i))
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		k := rng.Intn(nTypes) + 1
+		clusters, err := y.Summarize(k)
+		if err != nil {
+			return false
+		}
+		var members int
+		for _, c := range clusters {
+			members += len(c.Members)
+		}
+		return members == nTypes
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
