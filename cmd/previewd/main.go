@@ -1,0 +1,136 @@
+// Command previewd serves preview-table discovery over HTTP: it loads one
+// or more entity graphs into a named registry and answers JSON preview
+// queries, caching the expensive per-graph scoring precomputation across
+// requests (see internal/service).
+//
+// Graphs are registered with repeatable flags. File formats are inferred
+// from the extension: .nt is the N-Triples subset (literals dropped),
+// .egpt/.snap is the binary snapshot, anything else the text triple
+// format.
+//
+//	previewd -graph movies=movies.eg -graph dump=dump.nt -domain film
+//
+// then:
+//
+//	curl localhost:8080/v1/graphs
+//	curl localhost:8080/v1/graphs/film/stats
+//	curl 'localhost:8080/v1/graphs/film/preview?k=3&n=9&tuples=4'
+//	curl 'localhost:8080/v1/graphs/film/preview?k=4&n=8&mode=diverse&d=3'
+//	curl 'localhost:8080/v1/graphs/film/render?k=3&n=9&tuples=4&format=markdown'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	previewtables "github.com/uta-db/previewtables"
+	"github.com/uta-db/previewtables/internal/freebase"
+	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/service"
+)
+
+func main() {
+	log.SetPrefix("previewd: ")
+	log.SetFlags(0)
+
+	reg := service.NewRegistry()
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Float64("scale", 0, "synthetic generation scale for -domain (0 = default)")
+	warm := flag.Bool("warm", true, "precompute scores for every graph before serving (first requests would otherwise pay it, possibly past the write timeout)")
+	var loads []func() error // deferred so -scale applies regardless of flag order
+	flag.Func("graph", "register a graph: name=path (repeatable; format by extension)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		loads = append(loads, func() error { return addFile(reg, name, path) })
+		return nil
+	})
+	flag.Func("domain", "register a synthetic domain under its own name (repeatable): "+
+		strings.Join(freebase.Domains(), ", "), func(v string) error {
+		loads = append(loads, func() error { return addDomain(reg, v, *scale) })
+		return nil
+	})
+	flag.Parse()
+
+	if len(loads) == 0 {
+		fmt.Fprintln(os.Stderr, "previewd: no graphs; pass at least one -graph name=path or -domain name")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, load := range loads {
+		if err := load(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *warm {
+		for _, name := range reg.Names() {
+			gr, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			start := time.Now()
+			gr.Discoverer(score.KeyCoverage, score.NonKeyCoverage)
+			log.Printf("graph %q: scores precomputed in %v", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      service.New(reg),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Printf("serving %d graph(s) %v on %s", len(reg.Names()), reg.Names(), *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// addFile loads a graph file, inferring the format from its extension.
+func addFile(reg *service.Registry, name, path string) error {
+	var (
+		g   *previewtables.EntityGraph
+		err error
+	)
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".egpt", ".snap":
+		g, err = previewtables.LoadSnapshot(path)
+	case ".nt":
+		var f *os.File
+		if f, err = os.Open(path); err == nil {
+			g, err = previewtables.ReadNTriples(f, previewtables.NTriplesOptions{DropLiterals: true})
+			f.Close()
+		}
+	default:
+		var f *os.File
+		if f, err = os.Open(path); err == nil {
+			g, err = previewtables.ReadTriples(f)
+			f.Close()
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
+	}
+	log.Printf("graph %q from %s: %s", name, path, g.Stats())
+	return reg.Add(name, g)
+}
+
+// addDomain generates a synthetic Freebase-like domain and registers it
+// under the domain name.
+func addDomain(reg *service.Registry, domain string, scale float64) error {
+	opts := freebase.DefaultGenOptions()
+	if scale > 0 {
+		opts.Scale = scale
+	}
+	g, err := freebase.Generate(domain, opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("graph %q (synthetic): %s", domain, g.Stats())
+	return reg.Add(domain, g)
+}

@@ -88,14 +88,7 @@ func main() {
 	case *dot:
 		err = previewtables.PreviewDOT(os.Stdout, g.Schema(), &p)
 	case *markdown:
-		for i := range p.Tables {
-			if i > 0 {
-				fmt.Println()
-			}
-			if err = previewtables.RenderMarkdown(os.Stdout, g, &p.Tables[i], *tuples); err != nil {
-				break
-			}
-		}
+		err = previewtables.RenderMarkdownPreview(os.Stdout, g, &p, *tuples)
 	default:
 		err = previewtables.Render(os.Stdout, g, &p, *tuples)
 	}

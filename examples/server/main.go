@@ -1,0 +1,74 @@
+// Server: run the previewd HTTP service end-to-end against the paper's
+// film-studio fixture (the Fig. 1 entity graph) — register the graph,
+// serve on an ephemeral port, and walk the API the way a client would:
+// list graphs, fetch stats, discover a preview as JSON, and render the
+// same preview as Markdown. The requests mirror the curl examples in the
+// README quickstart.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/service"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the service on an ephemeral localhost port, issues the tour
+// of requests, and writes each response to w.
+func run(w io.Writer) error {
+	reg := service.NewRegistry()
+	if err := reg.Add("filmstudio", fig1.Graph()); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.New(reg)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	for _, path := range []string{
+		"/healthz",
+		"/v1/graphs",
+		"/v1/graphs/filmstudio/stats",
+		"/v1/graphs/filmstudio/preview?k=2&n=3&tuples=4",
+		"/v1/graphs/filmstudio/render?k=2&n=3&tuples=4&format=markdown",
+	} {
+		if err := show(w, base, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// show performs one GET and prints the request line and response body.
+func show(w io.Writer, base, path string) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	fmt.Fprintf(w, "GET %s\n%s\n", path, body)
+	return nil
+}

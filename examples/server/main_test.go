@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/fig1"
+)
+
+// TestServerExampleSmoke runs the whole example — real listener, real
+// HTTP round trips — and checks each stop of the tour produced output.
+func TestServerExampleSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"GET /healthz",
+		`"graphs"`,
+		`"name":"filmstudio"`,
+		`"entities":`,
+		`"preview":{"score":56`,     // Fig. 2's preview score on the fixture
+		`"key":"` + fig1.Film + `"`, // first table keyed by FILM
+		"| **" + fig1.Film + "** |", // Markdown rendering of the same table
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("example output missing %q:\n%s", want, got)
+		}
+	}
+}

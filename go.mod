@@ -1,0 +1,3 @@
+module github.com/uta-db/previewtables
+
+go 1.21

@@ -42,6 +42,7 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 	k := c.K
 	var level []int32
 	stride := 0
+	budget := c.MaxCandidates
 	if k == 1 {
 		stride = 1
 		for i := range types {
@@ -52,13 +53,27 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 		for i := 0; i < len(types); i++ {
 			for j := i + 1; j < len(types); j++ {
 				if d.distOK(c, types[i], types[j]) {
+					if budget > 0 && len(level)/2 >= budget {
+						return Preview{}, ErrSearchBudget
+					}
 					level = append(level, int32(i), int32(j))
 				}
 			}
 		}
 		stats.CandidatesGenerated += len(level) / 2
 		for size := 3; size <= k && len(level) > 0; size++ {
-			level = d.joinLevel(c, types, level, stride)
+			remaining := -1 // negative: unlimited
+			if budget > 0 {
+				// Never negative: earlier levels error before exceeding
+				// the budget. May be exactly 0 — joinLevel must still run,
+				// since an empty join completes the search (ErrNoPreview)
+				// rather than exceeding the budget.
+				remaining = budget - stats.CandidatesGenerated
+			}
+			var err error
+			if level, err = d.joinLevel(c, types, level, stride, remaining); err != nil {
+				return Preview{}, err
+			}
 			stride = size
 			stats.CandidatesGenerated += len(level) / stride
 		}
@@ -100,10 +115,14 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 // joinLevel merges a flat level of (size-1)-subsets into the flat level of
 // size-subsets. Blocks sharing a prefix are contiguous because levels are
 // generated in lexicographic order; within a block only the new last-element
-// pair needs a distance check.
-func (d *Discoverer) joinLevel(c Constraint, types []graph.TypeID, level []int32, stride int) []int32 {
+// pair needs a distance check. A non-negative limit caps how many
+// candidates this level may produce before the join aborts with
+// ErrSearchBudget (a limit of 0 errors on the first candidate but lets an
+// empty join complete); negative means unlimited.
+func (d *Discoverer) joinLevel(c Constraint, types []graph.TypeID, level []int32, stride, limit int) ([]int32, error) {
 	var next []int32
 	nCands := len(level) / stride
+	produced := 0
 	for a := 0; a < nCands; a++ {
 		offA := a * stride
 		for b := a + 1; b < nCands; b++ {
@@ -116,11 +135,15 @@ func (d *Discoverer) joinLevel(c Constraint, types []graph.TypeID, level []int32
 			if !d.distOK(c, ta, tb) {
 				continue
 			}
+			if limit >= 0 && produced >= limit {
+				return nil, ErrSearchBudget
+			}
+			produced++
 			next = append(next, level[offA:offA+stride]...)
 			next = append(next, level[offB+stride-1])
 		}
 	}
-	return next
+	return next, nil
 }
 
 // samePrefix reports whether a and b agree on all but their last element.
@@ -155,6 +178,7 @@ func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
 	)
 	subset := make([]graph.TypeID, c.K)
 	take := make([]int, c.K)
+	exceeded := false
 	var rec func(pos, start int)
 	rec = func(pos, start int) {
 		if pos == c.K {
@@ -168,6 +192,9 @@ func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
 			return
 		}
 		for i := start; i <= len(types)-(c.K-pos); i++ {
+			if exceeded {
+				return
+			}
 			t := types[i]
 			ok := true
 			for q := 0; q < pos; q++ {
@@ -179,6 +206,10 @@ func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
 			if !ok {
 				continue
 			}
+			if c.MaxCandidates > 0 && stats.CandidatesGenerated >= c.MaxCandidates {
+				exceeded = true
+				return
+			}
 			stats.CandidatesGenerated++
 			subset[pos] = t
 			rec(pos+1, i+1)
@@ -186,6 +217,9 @@ func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
 	}
 	rec(0, 0)
 
+	if exceeded {
+		return Preview{}, ErrSearchBudget
+	}
 	if !found {
 		return Preview{}, ErrNoPreview
 	}

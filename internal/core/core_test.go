@@ -491,3 +491,76 @@ func TestTableScoreEquation2(t *testing.T) {
 		t.Errorf("preview score %v != Σ tables %v", p.Score, total)
 	}
 }
+
+// TestSearchBudget pins MaxCandidates: a starved budget aborts the
+// tight/diverse searches with ErrSearchBudget, while a sufficient one
+// returns exactly the unbounded result.
+func TestSearchBudget(t *testing.T) {
+	_, d := fig1Discoverer(t)
+	// Diverse with d=0 degenerates: every pair is compatible, so the
+	// candidate space is all k-subsets — the worst case the budget guards.
+	c := core.Constraint{K: 3, N: 3, Mode: core.Diverse, D: 0}
+
+	unbounded, err := d.Apriori(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.MaxCandidates = 2
+	if _, err := d.Apriori(c); !errors.Is(err, core.ErrSearchBudget) {
+		t.Errorf("Apriori with starved budget: got %v, want ErrSearchBudget", err)
+	}
+	if _, err := d.CliqueDFS(c); !errors.Is(err, core.ErrSearchBudget) {
+		t.Errorf("CliqueDFS with starved budget: got %v, want ErrSearchBudget", err)
+	}
+
+	c.MaxCandidates = 1 << 20
+	for name, f := range map[string]func(core.Constraint) (core.Preview, error){
+		"Apriori": d.Apriori, "CliqueDFS": d.CliqueDFS,
+	} {
+		p, err := f(c)
+		if err != nil {
+			t.Fatalf("%s with ample budget: %v", name, err)
+		}
+		if math.Abs(p.Score-unbounded.Score) > eps {
+			t.Errorf("%s budgeted score %v != unbounded %v", name, p.Score, unbounded.Score)
+		}
+	}
+}
+
+// TestSearchBudgetExactBoundary pins the boundary: when the search
+// completes having generated exactly MaxCandidates candidates, the
+// budget must not fire — the outcome (including ErrNoPreview) must match
+// the unbounded run. Path schema a-b-c-d under Tight d=1: the compatible
+// pairs are exactly the 3 path edges and no triple is pairwise-close, so
+// the unbounded search generates 3 candidates and finds no preview.
+func TestSearchBudgetExactBoundary(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	var rels []graph.RelType
+	for i := 1; i < len(names); i++ {
+		rels = append(rels, graph.RelType{Name: "r", From: graph.TypeID(i - 1), To: graph.TypeID(i)})
+	}
+	s, err := graph.NewSchema(names, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := score.ComputeSchemaOnly(s, score.DefaultWalkOptions())
+	d := core.New(set, core.Options{Key: score.KeyCoverage, NonKey: score.NonKeyCoverage})
+
+	c := core.Constraint{K: 3, N: 3, Mode: core.Tight, D: 1}
+	if _, err := d.Apriori(c); !errors.Is(err, core.ErrNoPreview) {
+		t.Fatalf("unbounded: got %v, want ErrNoPreview", err)
+	}
+	p, _ := d.Apriori(core.Constraint{K: 2, N: 2, Mode: core.Tight, D: 1})
+	if got := p.Stats.CandidatesGenerated; got != 3 {
+		t.Fatalf("pair level generated %d candidates, want 3 (fixture drifted)", got)
+	}
+	c.MaxCandidates = 3 // exactly the pair level; the empty join must complete
+	if _, err := d.Apriori(c); !errors.Is(err, core.ErrNoPreview) {
+		t.Errorf("budget == candidates generated: got %v, want ErrNoPreview", err)
+	}
+	c.MaxCandidates = 2 // genuinely starved
+	if _, err := d.Apriori(c); !errors.Is(err, core.ErrSearchBudget) {
+		t.Errorf("starved budget: got %v, want ErrSearchBudget", err)
+	}
+}

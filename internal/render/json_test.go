@@ -1,0 +1,108 @@
+package render
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+func fig1Preview(t *testing.T, c core.Constraint) (*core.Preview, *core.Discoverer) {
+	t.Helper()
+	g := fig1.Graph()
+	set := score.Compute(g, score.DefaultWalkOptions())
+	d := core.New(set, core.Options{Key: score.KeyCoverage, NonKey: score.NonKeyCoverage})
+	p, err := d.Discover(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &p, d
+}
+
+func TestPreviewDocument(t *testing.T) {
+	g := fig1.Graph()
+	p, _ := fig1Preview(t, core.Constraint{K: 2, N: 3})
+	doc := PreviewDocument(g, p, Options{Tuples: 4})
+
+	if doc.Score != p.Score || doc.NonKeyCount != p.NonKeyCount() {
+		t.Fatalf("doc totals %g/%d, want %g/%d", doc.Score, doc.NonKeyCount, p.Score, p.NonKeyCount())
+	}
+	if len(doc.Tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(doc.Tables))
+	}
+	// Fig. 2's first table: FILM keyed, with the Actor and Genres columns.
+	ft := doc.Tables[0]
+	if ft.Key != fig1.Film {
+		t.Fatalf("first table key %q, want %q", ft.Key, fig1.Film)
+	}
+	if len(ft.Columns) != 2 || ft.Columns[0].Rel != fig1.RelActor || ft.Columns[1].Rel != fig1.RelGenres {
+		t.Fatalf("first table columns: %+v", ft.Columns)
+	}
+	// The Actor relationship points at FILM, so as a FILM column it is
+	// incoming and the header carries the direction annotation.
+	if ft.Columns[0].Outgoing || !strings.Contains(ft.Columns[0].Name, fig1.FilmActor) {
+		t.Fatalf("Actor column: %+v", ft.Columns[0])
+	}
+	if ft.Columns[0].Target != fig1.FilmActor {
+		t.Fatalf("Actor column target %q, want %q", ft.Columns[0].Target, fig1.FilmActor)
+	}
+	if len(ft.Tuples) == 0 {
+		t.Fatal("no tuples despite Tuples: 4")
+	}
+	for _, tu := range ft.Tuples {
+		if len(tu.Values) != len(ft.Columns) {
+			t.Fatalf("tuple %q has %d value sets for %d columns", tu.Key, len(tu.Values), len(ft.Columns))
+		}
+	}
+}
+
+// TestTableDocumentValuesSorted pins the deterministic ordering of
+// multi-valued cells.
+func TestTableDocumentValuesSorted(t *testing.T) {
+	g := fig1.Graph()
+	p, _ := fig1Preview(t, core.Constraint{K: 1, N: 2})
+	doc := TableDocument(g, &p.Tables[0], Options{Tuples: 100})
+	for _, tu := range doc.Tuples {
+		for _, vals := range tu.Values {
+			for i := 1; i < len(vals); i++ {
+				if vals[i-1] > vals[i] {
+					t.Fatalf("tuple %q values unsorted: %v", tu.Key, vals)
+				}
+			}
+		}
+	}
+}
+
+// TestDocJSONShape pins the wire field names — the service API contract.
+func TestDocJSONShape(t *testing.T) {
+	g := fig1.Graph()
+	p, _ := fig1Preview(t, core.Constraint{K: 1, N: 1})
+	raw, err := json.Marshal(PreviewDocument(g, p, Options{Tuples: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"score"`, `"non_key_count"`, `"tables"`, `"key"`, `"key_score"`,
+		`"columns"`, `"name"`, `"rel"`, `"target"`, `"outgoing"`, `"tuples"`, `"values"`,
+	} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("marshaled doc missing %s: %s", field, raw)
+		}
+	}
+}
+
+// TestTableDocumentNoTuples checks the schema-only form omits tuples.
+func TestTableDocumentNoTuples(t *testing.T) {
+	g := fig1.Graph()
+	p, _ := fig1Preview(t, core.Constraint{K: 1, N: 1})
+	raw, err := json.Marshal(TableDocument(g, &p.Tables[0], Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"tuples"`) {
+		t.Fatalf("schema-only doc carries tuples: %s", raw)
+	}
+}

@@ -65,15 +65,7 @@ func Table(w io.Writer, g *graph.EntityGraph, t *core.Table, opts Options) error
 		headers = append(headers, ColumnHeader(s, c))
 	}
 
-	var tuples []core.Tuple
-	if opts.Tuples > 0 {
-		if opts.Representative {
-			tuples = core.SampleRepresentative(g, t, opts.Tuples)
-		} else {
-			tuples = core.SampleRandom(g, t, opts.Tuples, opts.Rand)
-		}
-	}
-
+	tuples := sampleTuples(g, t, opts)
 	rows := make([][]string, 0, len(tuples))
 	for _, tu := range tuples {
 		row := make([]string, 0, len(headers))
@@ -100,6 +92,20 @@ func Preview(w io.Writer, g *graph.EntityGraph, p *core.Preview, opts Options) e
 		}
 	}
 	return nil
+}
+
+// sampleTuples materializes a table's display tuples per opts: none,
+// random (the paper's strategy), or coverage-greedy representative. The
+// single sampling point for every renderer, so text, Markdown and JSON
+// output cannot diverge for identical options.
+func sampleTuples(g *graph.EntityGraph, t *core.Table, opts Options) []core.Tuple {
+	if opts.Tuples <= 0 {
+		return nil
+	}
+	if opts.Representative {
+		return core.SampleRepresentative(g, t, opts.Tuples)
+	}
+	return core.SampleRandom(g, t, opts.Tuples, opts.Rand)
 }
 
 // formatCell renders a value set: "-" when empty, the bare name for a
@@ -197,19 +203,26 @@ func MarkdownTable(w io.Writer, g *graph.EntityGraph, t *core.Table, opts Option
 		fmt.Fprint(w, "---|")
 	}
 	fmt.Fprintln(w)
-	if opts.Tuples > 0 {
-		var tuples []core.Tuple
-		if opts.Representative {
-			tuples = core.SampleRepresentative(g, t, opts.Tuples)
-		} else {
-			tuples = core.SampleRandom(g, t, opts.Tuples, opts.Rand)
+	for _, tu := range sampleTuples(g, t, opts) {
+		fmt.Fprintf(w, "| %s |", escapeMD(g.EntityName(tu.Key)))
+		for _, vals := range tu.Values {
+			fmt.Fprintf(w, " %s |", escapeMD(formatCell(g, vals)))
 		}
-		for _, tu := range tuples {
-			fmt.Fprintf(w, "| %s |", escapeMD(g.EntityName(tu.Key)))
-			for _, vals := range tu.Values {
-				fmt.Fprintf(w, " %s |", escapeMD(formatCell(g, vals)))
-			}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// MarkdownPreview renders every table of a preview as Markdown,
+// separated by blank lines — the multi-table counterpart of
+// MarkdownTable, as Preview is of Table.
+func MarkdownPreview(w io.Writer, g *graph.EntityGraph, p *core.Preview, opts Options) error {
+	for i := range p.Tables {
+		if i > 0 {
 			fmt.Fprintln(w)
+		}
+		if err := MarkdownTable(w, g, &p.Tables[i], opts); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,167 @@
+// Package service is the HTTP serving layer: a named registry of loaded
+// entity graphs with per-graph caches of the expensive precomputations,
+// and a JSON API over preview discovery and rendering (see Server).
+//
+// The caching design follows the paper's own split (Sec. 5: "Both the
+// schema graph and the scoring measures ... are computed before optimal
+// preview discovery"): the dominant cost of answering a preview request
+// is score.Compute — one pass over every edge of the entity graph plus
+// power iteration for the random-walk measure — while the discovery
+// search itself is bounded by the (small, display-sized) constraint. The
+// registry therefore computes the score.Set at most once per graph and a
+// core.Discoverer at most once per (graph, key measure, non-key measure),
+// no matter how many requests race for them. Dedup is singleflight-style:
+// a map lookup under a short mutex hands every racing request the same
+// slot, and the slot's sync.Once makes exactly one of them build while
+// the rest block for the result. Builds for different measure pairs
+// proceed concurrently.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+// Registry holds the named entity graphs a server exposes. Graphs are
+// registered once at startup (or whenever) and served concurrently;
+// all methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*Graph
+
+	// scoreComputes counts score.Compute runs across all graphs. Tests
+	// and benchmarks assert on it to prove the cache-hit path never
+	// re-runs the precomputation.
+	scoreComputes atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*Graph)}
+}
+
+// Add registers g under name. The name must be non-empty, must not
+// contain '/', and must not already be registered.
+func (r *Registry) Add(name string, g *graph.EntityGraph) error {
+	if name == "" {
+		return fmt.Errorf("service: empty graph name")
+	}
+	for _, c := range name {
+		if c == '/' {
+			return fmt.Errorf("service: graph name %q contains '/'", name)
+		}
+	}
+	if g == nil {
+		return fmt.Errorf("service: nil graph %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return fmt.Errorf("service: graph %q already registered", name)
+	}
+	r.graphs[name] = &Graph{
+		name:  name,
+		g:     g,
+		stats: g.Stats(),
+		reg:   r,
+		discs: make(map[measureKey]*discSlot),
+	}
+	return nil
+}
+
+// Get returns the registered graph, or ok=false.
+func (r *Registry) Get(name string) (*Graph, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	gr, ok := r.graphs[name]
+	return gr, ok
+}
+
+// Names lists the registered graph names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for n := range r.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScoreComputes reports how many times score.Compute has run across the
+// registry's graphs. With the cache working it equals the number of
+// graphs that have served at least one preview request.
+func (r *Registry) ScoreComputes() int64 { return r.scoreComputes.Load() }
+
+// measureKey identifies one cached Discoverer configuration.
+type measureKey struct {
+	key    score.KeyMeasure
+	nonKey score.NonKeyMeasure
+}
+
+// discSlot is the singleflight slot for one measure pair: the first
+// request through the Once builds, everyone else blocks on it.
+type discSlot struct {
+	once sync.Once
+	disc *core.Discoverer
+}
+
+// Graph is one registered entity graph plus its lazily built, cached
+// precomputations.
+type Graph struct {
+	name  string
+	g     *graph.EntityGraph
+	stats graph.Stats
+	reg   *Registry
+
+	scoreOnce sync.Once
+	scores    *score.Set
+
+	mu    sync.Mutex
+	discs map[measureKey]*discSlot
+}
+
+// Name returns the registered name.
+func (gr *Graph) Name() string { return gr.name }
+
+// Entity returns the underlying entity graph.
+func (gr *Graph) Entity() *graph.EntityGraph { return gr.g }
+
+// Stats returns the graph's size statistics (captured at registration).
+func (gr *Graph) Stats() graph.Stats { return gr.stats }
+
+// Scores returns the graph's precomputed score set, computing it on
+// first use. Concurrent callers share one computation.
+func (gr *Graph) Scores() *score.Set {
+	gr.scoreOnce.Do(func() {
+		gr.reg.scoreComputes.Add(1)
+		gr.scores = score.Compute(gr.g, score.DefaultWalkOptions())
+	})
+	return gr.scores
+}
+
+// Discoverer returns the cached Discoverer for the measure pair,
+// building it (and, transitively, the score set) on first use.
+// Concurrent callers for the same pair share one build; different pairs
+// build independently and concurrently.
+func (gr *Graph) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
+	k := measureKey{key: km, nonKey: nm}
+	gr.mu.Lock()
+	slot, ok := gr.discs[k]
+	if !ok {
+		slot = &discSlot{}
+		gr.discs[k] = slot
+	}
+	gr.mu.Unlock()
+	slot.once.Do(func() {
+		slot.disc = core.New(gr.Scores(), core.Options{Key: km, NonKey: nm})
+	})
+	return slot.disc
+}

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/render"
+)
+
+// Server serves a Registry over HTTP. Routes:
+//
+//	GET /healthz                          liveness probe, plain "ok"
+//	GET /v1/graphs                        registered graphs with stats
+//	GET /v1/graphs/{name}/stats           one graph's stats
+//	GET /v1/graphs/{name}/preview?...     optimal preview as JSON
+//	GET /v1/graphs/{name}/render?...      optimal preview as text/markdown
+//
+// preview and render accept k, n, mode (concise|tight|diverse), d, key
+// (coverage|walk), nonkey (coverage|entropy), tuples and rep parameters;
+// render additionally accepts format (text|markdown). Routing is parsed
+// by hand so the package works under any go directive version (the
+// pattern-matching ServeMux needs go ≥ 1.22 in go.mod).
+type Server struct {
+	reg *Registry
+
+	// SearchBudget caps candidate generation per tight/diverse request
+	// (core.Constraint.MaxCandidates). The exact Apriori search is
+	// combinatorial in k under degenerate distance constraints (diverse
+	// d=0 makes every type pair compatible), so without a budget one GET
+	// could pin a CPU indefinitely. Zero disables the cap.
+	SearchBudget int
+}
+
+// DefaultSearchBudget bounds tight/diverse candidate generation per
+// request: generous for real schema graphs (the paper's largest domain
+// needs ~10^4 candidates at its loosest d), small enough that a
+// degenerate request fails in well under a second.
+const DefaultSearchBudget = 2_000_000
+
+// New returns a Server over reg with the default search budget.
+func New(reg *Registry) *Server { return &Server{reg: reg, SearchBudget: DefaultSearchBudget} }
+
+// errorDoc is the JSON error body for every non-2xx response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// statsDoc is the JSON shape of one graph's size statistics (the paper's
+// Table 2 row).
+type statsDoc struct {
+	Name     string `json:"name"`
+	Entities int    `json:"entities"`
+	Edges    int    `json:"edges"`
+	Types    int    `json:"types"`
+	RelTypes int    `json:"rel_types"`
+}
+
+// graphsDoc is the JSON body of GET /v1/graphs.
+type graphsDoc struct {
+	Graphs []statsDoc `json:"graphs"`
+}
+
+// constraintDoc echoes the constraint a preview was discovered under.
+// D is a pointer so a valid d=0 on a tight/diverse request still echoes
+// (omitempty on an int would drop it), while concise responses — where
+// d is meaningless — omit the field entirely.
+type constraintDoc struct {
+	K    int    `json:"k"`
+	N    int    `json:"n"`
+	Mode string `json:"mode"`
+	D    *int   `json:"d,omitempty"`
+}
+
+// previewResponse is the JSON body of GET /v1/graphs/{name}/preview.
+type previewResponse struct {
+	Graph      string            `json:"graph"`
+	Constraint constraintDoc     `json:"constraint"`
+	Key        string            `json:"key_measure"`
+	NonKey     string            `json:"non_key_measure"`
+	Preview    render.PreviewDoc `json:"preview"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	case path == "/v1/graphs" || path == "/v1/graphs/":
+		s.handleList(w)
+	case strings.HasPrefix(path, "/v1/graphs/"):
+		s.handleGraph(w, r, strings.TrimPrefix(path, "/v1/graphs/"))
+	default:
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", path))
+	}
+}
+
+// handleGraph dispatches /v1/graphs/{name}/{action}.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string) {
+	name, action, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || strings.Contains(action, "/") {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
+		return
+	}
+	gr, ok := s.reg.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q; see /v1/graphs", name))
+		return
+	}
+	switch action {
+	case "stats":
+		s.writeJSON(w, statsFor(gr))
+	case "preview":
+		s.handlePreview(w, r, gr)
+	case "render":
+		s.handleRender(w, r, gr)
+	default:
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("no such action %q: want stats, preview or render", action))
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter) {
+	doc := graphsDoc{Graphs: []statsDoc{}}
+	for _, name := range s.reg.Names() {
+		gr, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		doc.Graphs = append(doc.Graphs, statsFor(gr))
+	}
+	s.writeJSON(w, doc)
+}
+
+func statsFor(gr *Graph) statsDoc {
+	st := gr.Stats()
+	return statsDoc{
+		Name:     gr.Name(),
+		Entities: st.Entities,
+		Edges:    st.Edges,
+		Types:    st.Types,
+		RelTypes: st.RelTypes,
+	}
+}
+
+// discover runs one validated discovery request against the cached
+// Discoverer, mapping failures to HTTP statuses: empty preview space is
+// 422 (the request was well formed; the graph just cannot satisfy it).
+func (s *Server) discover(w http.ResponseWriter, r *http.Request, gr *Graph) (core.Preview, previewParams, bool) {
+	p, err := parsePreviewParams(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return core.Preview{}, p, false
+	}
+	c := p.Constraint
+	c.MaxCandidates = s.SearchBudget
+	pv, err := gr.Discoverer(p.Key, p.NonKey).Discover(c)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, core.ErrNoPreview):
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, core.ErrSearchBudget):
+			status = http.StatusUnprocessableEntity
+			err = fmt.Errorf("%w: the distance constraint admits too many key-attribute subsets; tighten mode/d or lower k", err)
+		}
+		s.writeError(w, status, err)
+		return core.Preview{}, p, false
+	}
+	return pv, p, true
+}
+
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph) {
+	start := time.Now()
+	pv, p, ok := s.discover(w, r, gr)
+	if !ok {
+		return
+	}
+	mode := constraintDoc{
+		K:    p.Constraint.K,
+		N:    p.Constraint.N,
+		Mode: strings.ToLower(p.Constraint.Mode.String()),
+	}
+	if p.Constraint.Mode != core.Concise {
+		d := p.Constraint.D
+		mode.D = &d
+	}
+	s.writeJSON(w, previewResponse{
+		Graph:      gr.Name(),
+		Constraint: mode,
+		Key:        keyMeasureName(p.Key),
+		NonKey:     nonKeyMeasureName(p.NonKey),
+		Preview:    render.PreviewDocument(gr.Entity(), &pv, renderOptions(p)),
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, gr *Graph) {
+	format := strings.ToLower(r.URL.Query().Get("format"))
+	if format == "" {
+		format = "text"
+	}
+	if format != "text" && format != "markdown" {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q: want text or markdown", format))
+		return
+	}
+	pv, p, ok := s.discover(w, r, gr)
+	if !ok {
+		return
+	}
+	opts := renderOptions(p)
+	var err error
+	switch format {
+	case "markdown":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		err = render.MarkdownPreview(w, gr.Entity(), &pv, opts)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = render.Preview(w, gr.Entity(), &pv, opts)
+	}
+	// The status line is already out; all we can do is stop writing.
+	_ = err
+}
+
+// renderOptions maps request parameters onto render options. Sampling is
+// reseeded per request so identical requests return identical tuples.
+func renderOptions(p previewParams) render.Options {
+	return render.Options{
+		Tuples:         p.Tuples,
+		Representative: p.Representative,
+		Rand:           rand.New(rand.NewSource(1)),
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorDoc{Error: err.Error()})
+}

@@ -27,7 +27,8 @@
 // public surface: the data model (Builder, EntityGraph, Schema), the
 // scoring measures of the paper's Sec. 3, the three discovery algorithms of
 // Sec. 5, loading/saving (text triples, an N-Triples subset, and a binary
-// snapshot format), and rendering.
+// snapshot format), and rendering — aligned text, Markdown, Graphviz DOT,
+// and the JSON documents served by the previewd HTTP API.
 package previewtables
 
 import (
@@ -101,6 +102,10 @@ const (
 
 // ErrNoPreview is returned when no preview satisfies the constraints.
 var ErrNoPreview = core.ErrNoPreview
+
+// ErrSearchBudget is returned by tight/diverse discovery when
+// Constraint.MaxCandidates is set and the exact search would exceed it.
+var ErrSearchBudget = core.ErrSearchBudget
 
 // Discoverer precomputes scores for one entity graph and answers optimal
 // preview discovery queries. Create one per (graph, measure) pair and reuse
@@ -216,6 +221,39 @@ func RenderTable(w io.Writer, g *EntityGraph, t *PreviewTable, tuples int) error
 // RenderMarkdown writes one preview table as GitHub-flavored Markdown.
 func RenderMarkdown(w io.Writer, g *EntityGraph, t *PreviewTable, tuples int) error {
 	return render.MarkdownTable(w, g, t, render.Options{Tuples: tuples})
+}
+
+// RenderMarkdownPreview writes every table of a preview as Markdown,
+// separated by blank lines.
+func RenderMarkdownPreview(w io.Writer, g *EntityGraph, p *Preview, tuples int) error {
+	return render.MarkdownPreview(w, g, p, render.Options{Tuples: tuples})
+}
+
+// JSON-friendly result documents: previews resolved to names instead of
+// internal IDs, suitable for encoding/json. These are the response bodies
+// served by the previewd HTTP API (internal/service).
+type (
+	// PreviewDoc is a JSON-friendly preview.
+	PreviewDoc = render.PreviewDoc
+	// TableDoc is a JSON-friendly preview table.
+	TableDoc = render.TableDoc
+	// ColumnDoc is a JSON-friendly non-key attribute.
+	ColumnDoc = render.ColumnDoc
+	// TupleDoc is a JSON-friendly materialized row.
+	TupleDoc = render.TupleDoc
+)
+
+// PreviewDocument converts a preview into its JSON-friendly document,
+// sampling up to tuples rows per table (0 = schema only). Sampling is
+// deterministic: the same inputs produce the same document.
+func PreviewDocument(g *EntityGraph, p *Preview, tuples int) PreviewDoc {
+	return render.PreviewDocument(g, p, render.Options{Tuples: tuples})
+}
+
+// TableDocument converts one preview table into its JSON-friendly
+// document.
+func TableDocument(g *EntityGraph, t *PreviewTable, tuples int) TableDoc {
+	return render.TableDocument(g, t, render.Options{Tuples: tuples})
 }
 
 // SchemaDOT writes a schema graph in Graphviz DOT (Fig. 3 style).

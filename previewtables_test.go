@@ -2,6 +2,7 @@ package previewtables_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"path/filepath"
@@ -264,5 +265,32 @@ func TestMediatorPublic(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestPreviewDocumentPublic(t *testing.T) {
+	g := buildFig1(t)
+	p, err := previewtables.Discover(g, previewtables.Constraint{K: 2, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := previewtables.PreviewDocument(g, &p, 4)
+	if doc.Score != p.Score || len(doc.Tables) != len(p.Tables) {
+		t.Fatalf("doc %+v does not match preview (score %v, %d tables)", doc, p.Score, len(p.Tables))
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back previewtables.PreviewDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Score != doc.Score || len(back.Tables) != len(doc.Tables) {
+		t.Fatalf("round trip changed the document: %+v vs %+v", back, doc)
+	}
+	td := previewtables.TableDocument(g, &p.Tables[0], 2)
+	if td.Key != back.Tables[0].Key || len(td.Tuples) == 0 {
+		t.Fatalf("table document: %+v", td)
 	}
 }
