@@ -17,6 +17,15 @@
 //	curl 'localhost:8080/v1/graphs/film/preview?k=3&n=9&tuples=4'
 //	curl 'localhost:8080/v1/graphs/film/preview?k=4&n=8&mode=diverse&d=3'
 //	curl 'localhost:8080/v1/graphs/film/render?k=3&n=9&tuples=4&format=markdown'
+//
+// With -mutable every graph also accepts live updates (epoch-versioned;
+// see docs/ARCHITECTURE.md):
+//
+//	curl -XPOST localhost:8080/v1/graphs/film/edges -d '{"edges":[...]}'
+//	curl -XPOST localhost:8080/v1/graphs/film/triples --data-binary @batch.eg
+//
+// and -checkpoint-dir persists each mutated graph back to a snapshot file
+// every -checkpoint-interval (skipping epochs already on disk).
 package main
 
 import (
@@ -30,9 +39,11 @@ import (
 	"time"
 
 	previewtables "github.com/uta-db/previewtables"
+	"github.com/uta-db/previewtables/internal/dynamic"
 	"github.com/uta-db/previewtables/internal/freebase"
 	"github.com/uta-db/previewtables/internal/score"
 	"github.com/uta-db/previewtables/internal/service"
+	"github.com/uta-db/previewtables/internal/storage"
 )
 
 func main() {
@@ -43,18 +54,27 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.Float64("scale", 0, "synthetic generation scale for -domain (0 = default)")
 	warm := flag.Bool("warm", true, "precompute scores for every graph before serving (first requests would otherwise pay it, possibly past the write timeout)")
-	var loads []func() error // deferred so -scale applies regardless of flag order
+	mutable := flag.Bool("mutable", false, "serve every graph as mutable: POST /v1/graphs/{name}/edges and .../triples apply live updates with epoch-versioned snapshots")
+	ckptDir := flag.String("checkpoint-dir", "", "with -mutable: directory for periodic snapshot persistence of mutated graphs (one <name>.egpt per graph)")
+	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint mutated graphs to -checkpoint-dir")
+	var loads []func() (string, *previewtables.EntityGraph, error) // deferred so -scale applies regardless of flag order
 	flag.Func("graph", "register a graph: name=path (repeatable; format by extension)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)
 		}
-		loads = append(loads, func() error { return addFile(reg, name, path) })
+		loads = append(loads, func() (string, *previewtables.EntityGraph, error) {
+			g, err := loadFile(path)
+			return name, g, err
+		})
 		return nil
 	})
 	flag.Func("domain", "register a synthetic domain under its own name (repeatable): "+
 		strings.Join(freebase.Domains(), ", "), func(v string) error {
-		loads = append(loads, func() error { return addDomain(reg, v, *scale) })
+		loads = append(loads, func() (string, *previewtables.EntityGraph, error) {
+			g, err := genDomain(v, *scale)
+			return v, g, err
+		})
 		return nil
 	})
 	flag.Parse()
@@ -64,8 +84,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *ckptDir != "" && !*mutable {
+		log.Fatal("-checkpoint-dir requires -mutable (static graphs never change)")
+	}
+	if *ckptDir != "" && *ckptEvery <= 0 {
+		log.Fatalf("-checkpoint-interval must be positive, got %v", *ckptEvery)
+	}
 	for _, load := range loads {
-		if err := load(); err != nil {
+		name, g, err := load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("graph %q: %s", name, g.Stats())
+		if *mutable {
+			dg, err := dynamic.FromEntityGraph(g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			live, err := dynamic.NewLive(dg, score.DefaultWalkOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = reg.AddLive(name, live)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else if err := reg.Add(name, g); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -80,6 +124,12 @@ func main() {
 			log.Printf("graph %q: scores precomputed in %v", name, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		go checkpointLoop(reg, *ckptDir, *ckptEvery)
+	}
 
 	srv := &http.Server{
 		Addr:         *addr,
@@ -87,12 +137,47 @@ func main() {
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
-	log.Printf("serving %d graph(s) %v on %s", len(reg.Names()), reg.Names(), *addr)
+	mode := "read-only"
+	if *mutable {
+		mode = "mutable"
+	}
+	log.Printf("serving %d %s graph(s) %v on %s", len(reg.Names()), mode, reg.Names(), *addr)
 	log.Fatal(srv.ListenAndServe())
 }
 
-// addFile loads a graph file, inferring the format from its extension.
-func addFile(reg *service.Registry, name, path string) error {
+// checkpointLoop persists every mutable graph's latest snapshot to dir on
+// a fixed cadence. The Checkpointer skips epochs already on disk, so a
+// quiet graph costs one atomic-counter read per tick.
+func checkpointLoop(reg *service.Registry, dir string, every time.Duration) {
+	// Checkpointers materialize lazily per tick, so a graph registered
+	// after the loop starts is picked up instead of dereferenced as nil.
+	ckpts := map[string]*storage.Checkpointer{}
+	for range time.Tick(every) {
+		for _, name := range reg.Names() {
+			gr, ok := reg.Get(name)
+			if !ok || gr.Live() == nil {
+				continue
+			}
+			ck := ckpts[name]
+			if ck == nil {
+				ck = storage.NewCheckpointer(filepath.Join(dir, name+".egpt"))
+				ckpts[name] = ck
+			}
+			snap := gr.Live().Snapshot()
+			wrote, err := ck.Save(snap.Frozen, snap.Epoch)
+			if err != nil {
+				log.Printf("checkpoint %q: %v", name, err)
+				continue
+			}
+			if wrote {
+				log.Printf("checkpoint %q: epoch %d → %s", name, snap.Epoch, ck.Path())
+			}
+		}
+	}
+}
+
+// loadFile loads a graph file, inferring the format from its extension.
+func loadFile(path string) (*previewtables.EntityGraph, error) {
 	var (
 		g   *previewtables.EntityGraph
 		err error
@@ -114,23 +199,16 @@ func addFile(reg *service.Registry, name, path string) error {
 		}
 	}
 	if err != nil {
-		return fmt.Errorf("loading %s: %w", path, err)
+		return nil, fmt.Errorf("loading %s: %w", path, err)
 	}
-	log.Printf("graph %q from %s: %s", name, path, g.Stats())
-	return reg.Add(name, g)
+	return g, nil
 }
 
-// addDomain generates a synthetic Freebase-like domain and registers it
-// under the domain name.
-func addDomain(reg *service.Registry, domain string, scale float64) error {
+// genDomain generates a synthetic Freebase-like domain.
+func genDomain(domain string, scale float64) (*previewtables.EntityGraph, error) {
 	opts := freebase.DefaultGenOptions()
 	if scale > 0 {
 		opts.Scale = scale
 	}
-	g, err := freebase.Generate(domain, opts)
-	if err != nil {
-		return err
-	}
-	log.Printf("graph %q (synthetic): %s", domain, g.Stats())
-	return reg.Add(domain, g)
+	return freebase.Generate(domain, opts)
 }

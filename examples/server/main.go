@@ -1,9 +1,11 @@
 // Server: run the previewd HTTP service end-to-end against the paper's
 // film-studio fixture (the Fig. 1 entity graph) — register the graph,
 // serve on an ephemeral port, and walk the API the way a client would:
-// list graphs, fetch stats, discover a preview as JSON, and render the
-// same preview as Markdown. The requests mirror the curl examples in the
-// README quickstart.
+// list graphs, fetch stats, discover a preview as JSON, render the same
+// preview as Markdown, then exercise the live-update path: POST an edge
+// batch and a triple batch, watching the mutation epoch climb and the
+// stats change under the same preview URL. The requests mirror the curl
+// examples in the README quickstart.
 package main
 
 import (
@@ -13,8 +15,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
+	"github.com/uta-db/previewtables/internal/dynamic"
 	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/score"
 	"github.com/uta-db/previewtables/internal/service"
 )
 
@@ -28,7 +33,15 @@ func main() {
 // of requests, and writes each response to w.
 func run(w io.Writer) error {
 	reg := service.NewRegistry()
-	if err := reg.Add("filmstudio", fig1.Graph()); err != nil {
+	dg, err := dynamic.FromEntityGraph(fig1.Graph())
+	if err != nil {
+		return err
+	}
+	live, err := dynamic.NewLive(dg, score.DefaultWalkOptions())
+	if err != nil {
+		return err
+	}
+	if err := reg.AddLive("filmstudio", live); err != nil {
 		return err
 	}
 
@@ -52,7 +65,24 @@ func run(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+
+	// Live updates: a JSON edge batch (epoch 1) ...
+	edges := `{"edges": [
+		{"from": "Danny Elfman", "rel": "Music", "from_type": "FILM COMPOSER", "to_type": "` + fig1.Film + `", "to": "Men in Black"},
+		{"from": "Danny Elfman", "rel": "Music", "to": "Men in Black II"}
+	]}`
+	if err := post(w, base, "/v1/graphs/filmstudio/edges", edges); err != nil {
+		return err
+	}
+	// ... then a native triple-format batch (epoch 2).
+	triples := `edge "Steven Spielberg" "Producer" "FILM PRODUCER" "` + fig1.Film + `" "Men in Black"
+edge "Steven Spielberg" "Producer" "FILM PRODUCER" "` + fig1.Film + `" "Men in Black II"
+`
+	if err := post(w, base, "/v1/graphs/filmstudio/triples", triples); err != nil {
+		return err
+	}
+	// The same preview URL now answers from the epoch-2 snapshot.
+	return show(w, base, "/v1/graphs/filmstudio/preview?k=2&n=3")
 }
 
 // show performs one GET and prints the request line and response body.
@@ -61,14 +91,27 @@ func show(w io.Writer, base, path string) error {
 	if err != nil {
 		return err
 	}
+	return dump(w, "GET", path, resp)
+}
+
+// post performs one POST and prints the request line and response body.
+func post(w io.Writer, base, path, body string) error {
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return dump(w, "POST", path, resp)
+}
+
+func dump(w io.Writer, method, path string, resp *http.Response) error {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, body)
 	}
-	fmt.Fprintf(w, "GET %s\n%s\n", path, body)
+	fmt.Fprintf(w, "%s %s\n%s\n", method, path, body)
 	return nil
 }

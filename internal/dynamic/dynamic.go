@@ -50,6 +50,12 @@ type Graph struct {
 	// orientation: dir 0 = outgoing (tuples are source entities of the
 	// relationship's From type), dir 1 = incoming.
 	hist [][2]*valueHist
+
+	// walkPi is the stationary distribution of the previous Scores call,
+	// used to warm-start power iteration: one update batch perturbs the
+	// schema weights only slightly, so the old π is already near the new
+	// fixed point and re-solving takes a handful of iterations.
+	walkPi []float64
 }
 
 type relKey struct {
@@ -59,10 +65,15 @@ type relKey struct {
 
 // valueHist tracks, per tuple (entity), its current deduplicated value set
 // on one attribute, and the histogram of value sets across tuples — the
-// inputs to the entropy measure.
+// inputs to the entropy measure. Alongside the histogram it maintains the
+// two aggregates the entropy formula needs — the non-empty tuple count and
+// Σ c·log10(c) over group counts — so emitting the entropy is O(1) instead
+// of a scan over every group.
 type valueHist struct {
 	values map[graph.EntityID][]graph.EntityID // sorted, deduplicated
 	groups map[string]int                      // value-set key → tuple count
+	total  int                                 // Σ counts (non-empty tuples)
+	clogc  float64                             // Σ c·log10(c) over groups
 }
 
 func newValueHist() *valueHist {
@@ -93,26 +104,37 @@ func (h *valueHist) add(e, v graph.EntityID) bool {
 
 func (h *valueHist) bump(vals []graph.EntityID, delta int) {
 	k := setKey(vals)
-	h.groups[k] += delta
+	c := h.groups[k]
+	h.clogc += clog(c+delta) - clog(c)
+	h.total += delta
+	h.groups[k] = c + delta
 	if h.groups[k] == 0 {
 		delete(h.groups, k)
 	}
 }
 
-// entropy computes Sτent(γ) from the histogram (log base 10, tuples with
-// empty values excluded — they are simply absent from the maps).
-func (h *valueHist) entropy() float64 {
-	total := 0
-	for _, c := range h.groups {
-		total += c
-	}
-	if total == 0 {
+// clog is c·log10(c) with the 0·log(0) = 0 convention.
+func clog(c int) float64 {
+	if c <= 1 {
 		return 0
 	}
-	var e float64
-	for _, c := range h.groups {
-		p := float64(c) / float64(total)
-		e += p * math.Log10(1/p)
+	return float64(c) * math.Log10(float64(c))
+}
+
+// entropy computes Sτent(γ) from the maintained aggregates in O(1):
+// H = Σ (c/T)·log10(T/c) = log10(T) − (Σ c·log10 c)/T (log base 10,
+// tuples with empty values excluded — they are simply absent from the
+// maps). The running Σ c·log10 c accumulates float error on the order of
+// one ulp per histogram move, far below the measure's meaningful
+// resolution; the result is clamped at 0 so a drifted aggregate can never
+// report a (meaningless) negative entropy.
+func (h *valueHist) entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	e := math.Log10(float64(h.total)) - h.clogc/float64(h.total)
+	if e < 0 {
+		return 0
 	}
 	return e
 }
@@ -213,6 +235,50 @@ func (g *Graph) AddEdge(from, to graph.EntityID, rel graph.RelTypeID) error {
 	return nil
 }
 
+// TypeName returns the name of a declared type.
+func (g *Graph) TypeName(t graph.TypeID) string { return g.typeNames[int(t)] }
+
+// TypeByName finds a declared type without declaring it.
+func (g *Graph) TypeByName(name string) (graph.TypeID, bool) {
+	id, ok := g.typeByName[name]
+	return id, ok
+}
+
+// Rel returns one relationship type record (including its maintained
+// instance count). Relationship types are keyed by (name, from, to), so
+// one surface name may map to several types (the paper's "Award Winners"
+// spans both actors and directors) — resolving a bare name to a type is
+// the caller's policy.
+func (g *Graph) Rel(id graph.RelTypeID) graph.RelType { return g.rels[int(id)] }
+
+// FromEntityGraph streams an immutable entity graph into a fresh mutable
+// Graph. Declaration order follows the source graph's ID order, so every
+// type, relationship-type and entity ID is preserved — a frozen view of
+// the result is interchangeable with the source.
+func FromEntityGraph(src *graph.EntityGraph) (*Graph, error) {
+	g := &Graph{}
+	for t := 0; t < src.NumTypes(); t++ {
+		g.Type(src.TypeName(graph.TypeID(t)))
+	}
+	for r := 0; r < src.NumRelTypes(); r++ {
+		rt := src.RelType(graph.RelTypeID(r))
+		if _, err := g.RelType(rt.Name, rt.From, rt.To); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < src.NumEntities(); e++ {
+		ent := src.Entity(graph.EntityID(e))
+		g.Entity(ent.Name, ent.Types...)
+	}
+	for i := 0; i < src.NumEdges(); i++ {
+		ed := src.Edge(graph.EdgeID(i))
+		if err := g.AddEdge(ed.From, ed.To, ed.Rel); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 // Stats returns current size statistics.
 func (g *Graph) Stats() graph.Stats {
 	return graph.Stats{
@@ -242,7 +308,8 @@ func (g *Graph) Scores(opts score.WalkOptions) (*score.Set, error) {
 	for t := 0; t < n; t++ {
 		keyCov[t] = float64(g.coverage[t])
 	}
-	keyWalk := score.StationaryDistribution(s, opts)
+	keyWalk := score.StationaryDistributionWarm(s, opts, g.walkPi)
+	g.walkPi = append(g.walkPi[:0], keyWalk...)
 	nonKeyCov := make([][]float64, n)
 	nonKeyEnt := make([][]float64, n)
 	for t := 0; t < n; t++ {

@@ -1,0 +1,124 @@
+// Live graphs: a concurrency-safe facade over Graph that serializes
+// mutation batches and publishes immutable, epoch-versioned snapshots for
+// readers. Writers take a mutex; readers never block — they load the
+// current Snapshot through an atomic pointer and keep using it for the
+// whole request, so an in-flight preview sees one consistent (graph,
+// scores, epoch) triple no matter how many batches land meanwhile.
+//
+// Each successful batch bumps the epoch by one and refreshes the scores
+// through the incremental path (Graph.Scores: O(u·deg) histogram moves
+// already paid during mutation, an O(K²)-per-iteration warm-started walk
+// re-solve, and an O(K + N) assembly) instead of score.Compute's
+// O(|Vd| + |Ed|) rescan. The frozen entity graph — needed only to
+// materialize tuples — is rebuilt per publication; it is the one full-scan
+// cost of the write path, and it buys readers lock-free access to a graph
+// that can never change underneath them.
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+// Snapshot is one published epoch of a live graph: the frozen entity
+// graph, its score set, and size statistics, all taken at the same
+// instant. Snapshots are immutable; readers share them freely.
+//
+// One documented asymmetry (inherited from Graph.Freeze): the entity
+// graph is a multigraph, so Stats.Edges and the coverage measures count
+// parallel duplicate edges — a client that retries an already-applied
+// batch inflates them — while Frozen and the entropy measure collapse
+// duplicates. Every other measure is unaffected. Clients wanting
+// exactly-once semantics should check the stats epoch before retrying a
+// batch whose response was lost.
+type Snapshot struct {
+	// Epoch counts successful mutation batches since the graph was made
+	// live. The initial load is epoch 0.
+	Epoch uint64
+	// Stats are the live graph's statistics at publication.
+	Stats graph.Stats
+	// Scores is the incrementally refreshed score set.
+	Scores *score.Set
+	// Frozen is the immutable entity graph for tuple materialization.
+	Frozen *graph.EntityGraph
+}
+
+// Live wraps a Graph for concurrent serving: Apply serializes writers and
+// publishes a fresh Snapshot per batch; Snapshot hands readers the
+// current one without blocking.
+type Live struct {
+	opts score.WalkOptions
+
+	mu sync.Mutex // serializes mutation + publication
+	g  *Graph
+
+	snap      atomic.Pointer[Snapshot]
+	refreshes atomic.Int64
+}
+
+// NewLive publishes g's current state as epoch 0 and returns the facade.
+// The caller must not touch g directly afterwards — all further mutation
+// goes through Apply.
+func NewLive(g *Graph, opts score.WalkOptions) (*Live, error) {
+	l := &Live{opts: opts, g: g}
+	if err := l.publishLocked(0); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Snapshot returns the current published snapshot. It never blocks, not
+// even against an in-progress Apply.
+func (l *Live) Snapshot() *Snapshot { return l.snap.Load() }
+
+// Refreshes reports how many score refreshes Apply has published — with
+// the epoch discipline working it equals the number of successful batches
+// (the initial NewLive publication is not counted).
+func (l *Live) Refreshes() int64 { return l.refreshes.Load() }
+
+// Apply runs one mutation batch under the writer lock and, if it
+// succeeds, refreshes the scores incrementally and publishes the next
+// epoch. mutate must validate before mutating: a failed batch publishes
+// no epoch, so any mutation it already performed would silently leak into
+// the next successful epoch — and a mutation that breaks the data model
+// itself (say, an entity declared with no type) is worse still: it is
+// never rolled back, so every later publication fails at Freeze until
+// restart. The HTTP write routes uphold the contract by construction;
+// new callers must too. Concurrent Apply calls serialize; readers are
+// never blocked.
+func (l *Live) Apply(mutate func(*Graph) error) (*Snapshot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := mutate(l.g); err != nil {
+		return nil, err
+	}
+	if err := l.publishLocked(l.snap.Load().Epoch + 1); err != nil {
+		return nil, err
+	}
+	l.refreshes.Add(1)
+	return l.snap.Load(), nil
+}
+
+// publishLocked refreshes scores through the incremental path, freezes
+// the entity graph, and swaps in the new snapshot. Callers hold l.mu.
+func (l *Live) publishLocked(epoch uint64) error {
+	scores, err := l.g.Scores(l.opts)
+	if err != nil {
+		return fmt.Errorf("dynamic: refreshing scores: %w", err)
+	}
+	frozen, err := l.g.Freeze()
+	if err != nil {
+		return fmt.Errorf("dynamic: freezing graph: %w", err)
+	}
+	l.snap.Store(&Snapshot{
+		Epoch:  epoch,
+		Stats:  l.g.Stats(),
+		Scores: scores,
+		Frozen: frozen,
+	})
+	return nil
+}

@@ -1,0 +1,266 @@
+package dynamic_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/dynamic"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+)
+
+func newFig1Live(t *testing.T) *dynamic.Live {
+	t.Helper()
+	live, err := dynamic.NewLive(buildFig1Dynamic(t), score.DefaultWalkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live
+}
+
+func TestLivePublishesEpochs(t *testing.T) {
+	live := newFig1Live(t)
+	snap := live.Snapshot()
+	if snap.Epoch != 0 {
+		t.Fatalf("initial epoch = %d, want 0", snap.Epoch)
+	}
+	if snap.Stats.Edges != 21 || snap.Frozen.NumEdges() != 21 {
+		t.Fatalf("initial stats = %+v, frozen edges = %d", snap.Stats, snap.Frozen.NumEdges())
+	}
+	if live.Refreshes() != 0 {
+		t.Fatalf("initial publication counted as a refresh: %d", live.Refreshes())
+	}
+
+	next, err := live.Apply(func(g *dynamic.Graph) error {
+		film, _ := g.TypeByName("FILM")
+		genre, _ := g.TypeByName("FILM GENRE")
+		rel, err := g.RelType("Genres", film, genre)
+		if err != nil {
+			return err
+		}
+		return g.AddEdge(g.Entity("Hancock", film), g.Entity("Action Film", genre), rel)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 1 || live.Snapshot() != next {
+		t.Fatalf("epoch after one batch = %d (current %p, want %p)", next.Epoch, live.Snapshot(), next)
+	}
+	if next.Stats.Edges != 22 {
+		t.Fatalf("edges after batch = %d, want 22", next.Stats.Edges)
+	}
+	if live.Refreshes() != 1 {
+		t.Fatalf("refreshes = %d, want 1", live.Refreshes())
+	}
+	// The old snapshot is untouched: copy-on-write, not in-place.
+	if snap.Stats.Edges != 21 || snap.Frozen.NumEdges() != 21 {
+		t.Fatalf("published snapshot mutated: %+v", snap.Stats)
+	}
+}
+
+func TestLiveFailedBatchPublishesNothing(t *testing.T) {
+	live := newFig1Live(t)
+	before := live.Snapshot()
+	boom := errors.New("validation failed")
+	if _, err := live.Apply(func(g *dynamic.Graph) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Apply error = %v, want %v", err, boom)
+	}
+	if live.Snapshot() != before || live.Refreshes() != 0 {
+		t.Fatal("failed batch published an epoch or counted a refresh")
+	}
+}
+
+// TestLiveRandomStreamsMatchCompute is the incremental-vs-batch
+// cross-check on the live facade: after every randomized update batch,
+// the incrementally refreshed score set must equal score.Compute on the
+// published frozen graph for every measure pair. Randomized streams keep
+// the entropy bookkeeping honest (histogram moves, warm-started walk,
+// O(1) entropy aggregates all drift-free); duplicate (from, rel, to)
+// triples are excluded because Freeze collapses them by design.
+func TestLiveRandomStreamsMatchCompute(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var dg dynamic.Graph
+			nTypes := rng.Intn(5) + 2
+			types := make([]graph.TypeID, nTypes)
+			for i := range types {
+				types[i] = dg.Type(fmt.Sprintf("T%d", i))
+			}
+			var rels []graph.RelTypeID
+			for i := 0; i < rng.Intn(6)+2; i++ {
+				r, err := dg.RelType(fmt.Sprintf("r%d", i), types[rng.Intn(nTypes)], types[rng.Intn(nTypes)])
+				if err != nil {
+					t.Fatal(err)
+				}
+				rels = append(rels, r)
+			}
+			nEnts := rng.Intn(30) + 6
+			for i := 0; i < nEnts; i++ {
+				dg.Entity(fmt.Sprintf("e%d", i), types[rng.Intn(nTypes)])
+			}
+			live, err := dynamic.NewLive(&dg, score.DefaultWalkOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			seen := map[[3]int32]bool{}
+			for batch := 0; batch < 6; batch++ {
+				snap, err := live.Apply(func(g *dynamic.Graph) error {
+					// Each batch may also grow the universe: new entities,
+					// occasionally a whole new relationship type.
+					if rng.Intn(3) == 0 {
+						g.Entity(fmt.Sprintf("e%d-%d", batch, rng.Intn(100)), types[rng.Intn(nTypes)])
+					}
+					if rng.Intn(4) == 0 {
+						r, err := g.RelType(fmt.Sprintf("r-batch%d", batch), types[rng.Intn(nTypes)], types[rng.Intn(nTypes)])
+						if err != nil {
+							return err
+						}
+						rels = append(rels, r)
+					}
+					st := g.Stats()
+					for i := 0; i < rng.Intn(10)+1; i++ {
+						from := graph.EntityID(rng.Intn(st.Entities))
+						to := graph.EntityID(rng.Intn(st.Entities))
+						rel := rels[rng.Intn(len(rels))]
+						k := [3]int32{int32(from), int32(to), int32(rel)}
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						if err := g.AddEdge(from, to, rel); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if snap.Epoch != uint64(batch)+1 {
+					t.Fatalf("batch %d published epoch %d", batch, snap.Epoch)
+				}
+				if err := snap.Frozen.Validate(); err != nil {
+					t.Fatalf("batch %d frozen graph invalid: %v", batch, err)
+				}
+				batchSet := score.Compute(snap.Frozen, score.DefaultWalkOptions())
+				assertSetsEqual(t, snap.Scores, batchSet)
+				if t.Failed() {
+					t.Fatalf("batch %d: incremental refresh drifted from score.Compute", batch)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveConcurrentApplyAndRead hammers the facade directly (the HTTP
+// equivalent lives in internal/service): writers apply disjoint batches
+// while readers continuously load snapshots, asserting epochs are
+// monotone per reader and every snapshot is internally consistent.
+func TestLiveConcurrentApplyAndRead(t *testing.T) {
+	live := newFig1Live(t)
+	const writers, batches, readers = 4, 6, 4
+
+	var writersWG, readersWG sync.WaitGroup
+	errs := make(chan error, writers*batches+readers)
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		w := w
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for b := 0; b < batches; b++ {
+				_, err := live.Apply(func(g *dynamic.Graph) error {
+					film, _ := g.TypeByName("FILM")
+					genre, _ := g.TypeByName("FILM GENRE")
+					rel, err := g.RelType("Genres", film, genre)
+					if err != nil {
+						return err
+					}
+					return g.AddEdge(
+						g.Entity(fmt.Sprintf("Film w%d b%d", w, b), film),
+						g.Entity("Action Film", genre), rel)
+				})
+				if err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := live.Snapshot()
+				if snap.Epoch < last {
+					errs <- fmt.Errorf("epoch regressed: %d after %d", snap.Epoch, last)
+					return
+				}
+				last = snap.Epoch
+				if got := snap.Scores.Schema().NumTypes(); got != snap.Stats.Types {
+					errs <- fmt.Errorf("snapshot %d inconsistent: %d score types vs %d stats types", snap.Epoch, got, snap.Stats.Types)
+					return
+				}
+			}
+		}()
+	}
+	// Readers stop once every writer has finished (success or failure), so
+	// a failing batch surfaces as a test error instead of a hang.
+	writersWG.Wait()
+	close(done)
+	readersWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := live.Snapshot()
+	if snap.Epoch != writers*batches || live.Refreshes() != writers*batches {
+		t.Fatalf("final epoch %d, refreshes %d, want %d", snap.Epoch, live.Refreshes(), writers*batches)
+	}
+	batchSet := score.Compute(snap.Frozen, score.DefaultWalkOptions())
+	assertSetsEqual(t, snap.Scores, batchSet)
+}
+
+// TestWarmStartMatchesColdStart pins the warm-started power iteration to
+// the cold-started fixed point after a long drift of weight changes.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	dg := buildFig1Dynamic(t)
+	film, _ := dg.TypeByName("FILM")
+	genre, _ := dg.TypeByName("FILM GENRE")
+	rel, err := dg.RelType("Genres", film, genre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := dg.AddEdge(dg.Entity(fmt.Sprintf("Film %d", i), film), dg.Entity("Action Film", genre), rel); err != nil {
+			t.Fatal(err)
+		}
+		// Every refresh warm-starts from the previous π.
+		set, err := dg.Scores(score.DefaultWalkOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := set.Schema()
+		cold := score.StationaryDistribution(s, score.DefaultWalkOptions())
+		for tt := 0; tt < s.NumTypes(); tt++ {
+			if math.Abs(set.Key(score.KeyRandomWalk, graph.TypeID(tt))-cold[tt]) > 1e-8 {
+				t.Fatalf("step %d: warm-started walk diverged at type %d: %v vs %v",
+					i, tt, set.Key(score.KeyRandomWalk, graph.TypeID(tt)), cold[tt])
+			}
+		}
+	}
+}

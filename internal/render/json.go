@@ -14,6 +14,41 @@ import (
 	"github.com/uta-db/previewtables/internal/graph"
 )
 
+// GraphStatsDoc is the JSON shape of one graph's size statistics (the
+// paper's Table 2 row), plus the serving-layer mutability metadata: a
+// graph registered for live updates reports Mutable and its current
+// mutation Epoch. Epoch is a pointer so epoch 0 — the freshly loaded
+// state of a mutable graph — still serializes, while immutable graphs
+// omit both fields.
+type GraphStatsDoc struct {
+	Name     string  `json:"name"`
+	Entities int     `json:"entities"`
+	Edges    int     `json:"edges"`
+	Types    int     `json:"types"`
+	RelTypes int     `json:"rel_types"`
+	Mutable  bool    `json:"mutable,omitempty"`
+	Epoch    *uint64 `json:"epoch,omitempty"`
+}
+
+// GraphStats builds the stats document for an immutable graph.
+func GraphStats(name string, st graph.Stats) GraphStatsDoc {
+	return GraphStatsDoc{
+		Name:     name,
+		Entities: st.Entities,
+		Edges:    st.Edges,
+		Types:    st.Types,
+		RelTypes: st.RelTypes,
+	}
+}
+
+// WithEpoch marks the document as describing a mutable graph at the given
+// mutation epoch.
+func (d GraphStatsDoc) WithEpoch(epoch uint64) GraphStatsDoc {
+	d.Mutable = true
+	d.Epoch = &epoch
+	return d
+}
+
 // PreviewDoc is a JSON-friendly preview: Eq. 1's score plus one TableDoc
 // per preview table.
 type PreviewDoc struct {

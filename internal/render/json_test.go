@@ -106,3 +106,26 @@ func TestTableDocumentNoTuples(t *testing.T) {
 		t.Fatalf("schema-only doc carries tuples: %s", raw)
 	}
 }
+
+// TestGraphStatsDocShape pins the stats document wire shape: static
+// graphs serialize neither mutability nor epoch; mutable graphs carry
+// both, including the explicit epoch 0 of a freshly loaded graph.
+func TestGraphStatsDocShape(t *testing.T) {
+	st := fig1.Graph().Stats()
+	static, err := json.Marshal(GraphStats("g", st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(static), "epoch") || strings.Contains(string(static), "mutable") {
+		t.Fatalf("static stats leak mutability fields: %s", static)
+	}
+	live, err := json.Marshal(GraphStats("g", st).WithEpoch(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mutable":true`, `"epoch":0`, `"entities":`} {
+		if !strings.Contains(string(live), want) {
+			t.Fatalf("mutable stats missing %s: %s", want, live)
+		}
+	}
+}

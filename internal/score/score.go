@@ -243,6 +243,18 @@ func (s *Set) RankNonKeys(m NonKeyMeasure, t graph.TypeID) []RankedIncidence {
 // point π = πM but converges even on periodic (bipartite) schema graphs,
 // where plain power iteration oscillates forever.
 func StationaryDistribution(s *graph.Schema, opts WalkOptions) []float64 {
+	return StationaryDistributionWarm(s, opts, nil)
+}
+
+// StationaryDistributionWarm is StationaryDistribution with a warm start:
+// power iteration begins from prev (renormalized) instead of the uniform
+// distribution when prev matches the schema's type count. With positive
+// smoothing the chain is ergodic, so the fixed point is unique and the
+// starting vector only affects the iteration count — after a small
+// perturbation of the edge weights (one update batch on a live graph) the
+// old π is already near the new fixed point and convergence takes a
+// handful of iterations instead of hundreds. prev is not modified.
+func StationaryDistributionWarm(s *graph.Schema, opts WalkOptions, prev []float64) []float64 {
 	n := s.NumTypes()
 	if n == 0 {
 		return nil
@@ -265,8 +277,27 @@ func StationaryDistribution(s *graph.Schema, opts WalkOptions) []float64 {
 
 	pi := make([]float64, n)
 	next := make([]float64, n)
-	for i := range pi {
-		pi[i] = 1 / float64(n)
+	warm := false
+	if len(prev) == n {
+		var sum float64
+		for _, p := range prev {
+			if p < 0 {
+				sum = 0
+				break
+			}
+			sum += p
+		}
+		if sum > 0 {
+			for i := range pi {
+				pi[i] = prev[i] / sum
+			}
+			warm = true
+		}
+	}
+	if !warm {
+		for i := range pi {
+			pi[i] = 1 / float64(n)
+		}
 	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		// next = pi · M. The smoothing term contributes

@@ -1,20 +1,25 @@
 // Package service is the HTTP serving layer: a named registry of loaded
 // entity graphs with per-graph caches of the expensive precomputations,
-// and a JSON API over preview discovery and rendering (see Server).
+// a JSON API over preview discovery and rendering (see Server), and a
+// write path for live graphs (see write.go).
 //
 // The caching design follows the paper's own split (Sec. 5: "Both the
 // schema graph and the scoring measures ... are computed before optimal
 // preview discovery"): the dominant cost of answering a preview request
-// is score.Compute — one pass over every edge of the entity graph plus
-// power iteration for the random-walk measure — while the discovery
-// search itself is bounded by the (small, display-sized) constraint. The
-// registry therefore computes the score.Set at most once per graph and a
-// core.Discoverer at most once per (graph, key measure, non-key measure),
-// no matter how many requests race for them. Dedup is singleflight-style:
+// is obtaining the score.Set — one pass over every edge of the entity
+// graph plus power iteration for the random-walk measure — while the
+// discovery search itself is bounded by the (small, display-sized)
+// constraint. The unit of caching is the epoch view: one immutable
+// bundle of (entity graph, score set, Discoverer cache). A static graph
+// keeps one view forever, computing its score.Set at most once and a
+// core.Discoverer at most once per (key measure, non-key measure) no
+// matter how many requests race for them — dedup is singleflight-style:
 // a map lookup under a short mutex hands every racing request the same
 // slot, and the slot's sync.Once makes exactly one of them build while
-// the rest block for the result. Builds for different measure pairs
-// proceed concurrently.
+// the rest block for the result. A mutable graph gets a fresh view per
+// mutation epoch, its score set produced by the incremental refresh
+// (package dynamic) rather than score.Compute; swapping the view is what
+// invalidates every cached Discoverer at once.
 package service
 
 import (
@@ -24,20 +29,23 @@ import (
 	"sync/atomic"
 
 	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/dynamic"
 	"github.com/uta-db/previewtables/internal/graph"
 	"github.com/uta-db/previewtables/internal/score"
 )
 
-// Registry holds the named entity graphs a server exposes. Graphs are
-// registered once at startup (or whenever) and served concurrently;
-// all methods are safe for concurrent use.
+// Registry holds the named graphs a server exposes: immutable graphs
+// registered with Add, live (mutable) graphs registered with AddLive.
+// All methods are safe for concurrent use.
 type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*Graph
 
-	// scoreComputes counts score.Compute runs across all graphs. Tests
-	// and benchmarks assert on it to prove the cache-hit path never
-	// re-runs the precomputation.
+	// scoreComputes counts score.Compute runs across all static graphs.
+	// Tests and benchmarks assert on it to prove the cache-hit path never
+	// re-runs the precomputation. (Live graphs never run score.Compute at
+	// all — their sets come from the incremental refresh; see
+	// dynamic.Live.Refreshes for the equivalent counter.)
 	scoreComputes atomic.Int64
 }
 
@@ -46,9 +54,39 @@ func NewRegistry() *Registry {
 	return &Registry{graphs: make(map[string]*Graph)}
 }
 
-// Add registers g under name. The name must be non-empty, must not
-// contain '/', and must not already be registered.
+// Add registers an immutable graph under name. The name must be
+// non-empty, must not contain '/', and must not already be registered.
 func (r *Registry) Add(name string, g *graph.EntityGraph) error {
+	if g == nil {
+		return fmt.Errorf("service: nil graph %q", name)
+	}
+	gr := &Graph{name: name, reg: r}
+	v := &view{
+		stats: g.Stats(),
+		g:     g,
+		discs: make(map[measureKey]*discSlot),
+		compute: func() *score.Set {
+			r.scoreComputes.Add(1)
+			return score.Compute(g, score.DefaultWalkOptions())
+		},
+	}
+	gr.cur.Store(v)
+	return r.register(name, gr)
+}
+
+// AddLive registers a mutable graph under name: preview requests read
+// epoch-versioned snapshots, and the write endpoints mutate it through
+// live.Apply. Naming rules match Add.
+func (r *Registry) AddLive(name string, live *dynamic.Live) error {
+	if live == nil {
+		return fmt.Errorf("service: nil live graph %q", name)
+	}
+	gr := &Graph{name: name, reg: r, live: live}
+	gr.publish(live.Snapshot())
+	return r.register(name, gr)
+}
+
+func (r *Registry) register(name string, gr *Graph) error {
 	if name == "" {
 		return fmt.Errorf("service: empty graph name")
 	}
@@ -57,21 +95,12 @@ func (r *Registry) Add(name string, g *graph.EntityGraph) error {
 			return fmt.Errorf("service: graph name %q contains '/'", name)
 		}
 	}
-	if g == nil {
-		return fmt.Errorf("service: nil graph %q", name)
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.graphs[name]; ok {
 		return fmt.Errorf("service: graph %q already registered", name)
 	}
-	r.graphs[name] = &Graph{
-		name:  name,
-		g:     g,
-		stats: g.Stats(),
-		reg:   r,
-		discs: make(map[measureKey]*discSlot),
-	}
+	r.graphs[name] = gr
 	return nil
 }
 
@@ -96,8 +125,8 @@ func (r *Registry) Names() []string {
 }
 
 // ScoreComputes reports how many times score.Compute has run across the
-// registry's graphs. With the cache working it equals the number of
-// graphs that have served at least one preview request.
+// registry's static graphs. With the cache working it equals the number
+// of static graphs that have served at least one preview request.
 func (r *Registry) ScoreComputes() int64 { return r.scoreComputes.Load() }
 
 // measureKey identifies one cached Discoverer configuration.
@@ -113,55 +142,119 @@ type discSlot struct {
 	disc *core.Discoverer
 }
 
-// Graph is one registered entity graph plus its lazily built, cached
-// precomputations.
-type Graph struct {
-	name  string
-	g     *graph.EntityGraph
-	stats graph.Stats
-	reg   *Registry
+// view is one epoch's consistent read surface: the (frozen) entity graph,
+// its score set, and the Discoverer cache keyed by measure pair. A static
+// graph has exactly one view for its lifetime; a mutable graph gets a
+// fresh view per mutation epoch — swapping the view is what invalidates
+// every cached Discoverer at once, because the cache lives inside it.
+// Handlers resolve the view once per request and use it throughout, so a
+// request started at epoch e keeps e's graph, scores and discoverers even
+// if writers publish newer epochs meanwhile.
+type view struct {
+	epoch   uint64
+	mutable bool
+	stats   graph.Stats
+	g       *graph.EntityGraph
 
+	// scores is set eagerly for mutable views (the incremental refresh
+	// already produced it) and computed on first use through scoreOnce for
+	// static views.
 	scoreOnce sync.Once
 	scores    *score.Set
+	compute   func() *score.Set
 
 	mu    sync.Mutex
 	discs map[measureKey]*discSlot
 }
 
-// Name returns the registered name.
-func (gr *Graph) Name() string { return gr.name }
-
-// Entity returns the underlying entity graph.
-func (gr *Graph) Entity() *graph.EntityGraph { return gr.g }
-
-// Stats returns the graph's size statistics (captured at registration).
-func (gr *Graph) Stats() graph.Stats { return gr.stats }
-
-// Scores returns the graph's precomputed score set, computing it on
-// first use. Concurrent callers share one computation.
-func (gr *Graph) Scores() *score.Set {
-	gr.scoreOnce.Do(func() {
-		gr.reg.scoreComputes.Add(1)
-		gr.scores = score.Compute(gr.g, score.DefaultWalkOptions())
+// Scores returns the view's score set, computing it on first use for
+// static views. Concurrent callers share one computation.
+func (v *view) Scores() *score.Set {
+	v.scoreOnce.Do(func() {
+		if v.scores == nil {
+			v.scores = v.compute()
+		}
 	})
-	return gr.scores
+	return v.scores
 }
 
-// Discoverer returns the cached Discoverer for the measure pair,
+// Discoverer returns the view's cached Discoverer for the measure pair,
 // building it (and, transitively, the score set) on first use.
 // Concurrent callers for the same pair share one build; different pairs
 // build independently and concurrently.
-func (gr *Graph) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
+func (v *view) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
 	k := measureKey{key: km, nonKey: nm}
-	gr.mu.Lock()
-	slot, ok := gr.discs[k]
+	v.mu.Lock()
+	slot, ok := v.discs[k]
 	if !ok {
 		slot = &discSlot{}
-		gr.discs[k] = slot
+		v.discs[k] = slot
 	}
-	gr.mu.Unlock()
+	v.mu.Unlock()
 	slot.once.Do(func() {
-		slot.disc = core.New(gr.Scores(), core.Options{Key: km, NonKey: nm})
+		slot.disc = core.New(v.Scores(), core.Options{Key: km, NonKey: nm})
 	})
 	return slot.disc
+}
+
+// Graph is one registered graph: a static entity graph or a live one,
+// behind an atomically swapped epoch view.
+type Graph struct {
+	name string
+	reg  *Registry
+	live *dynamic.Live // non-nil iff the graph is mutable
+	cur  atomic.Pointer[view]
+}
+
+// Name returns the registered name.
+func (gr *Graph) Name() string { return gr.name }
+
+// Mutable reports whether the graph accepts writes.
+func (gr *Graph) Mutable() bool { return gr.live != nil }
+
+// Live returns the mutable graph's facade, or nil for static graphs.
+func (gr *Graph) Live() *dynamic.Live { return gr.live }
+
+// view returns the current epoch view. Handlers call it once per request
+// and thread the result through, so one request never mixes epochs.
+func (gr *Graph) view() *view { return gr.cur.Load() }
+
+// publish installs a new epoch view for snap unless a newer epoch is
+// already current (concurrent writers publish out of lock order), and
+// returns the view now current.
+func (gr *Graph) publish(snap *dynamic.Snapshot) *view {
+	nv := &view{
+		epoch:   snap.Epoch,
+		mutable: true,
+		stats:   snap.Stats,
+		g:       snap.Frozen,
+		scores:  snap.Scores,
+		discs:   make(map[measureKey]*discSlot),
+	}
+	for {
+		old := gr.cur.Load()
+		if old != nil && old.epoch >= nv.epoch {
+			return old
+		}
+		if gr.cur.CompareAndSwap(old, nv) {
+			return nv
+		}
+	}
+}
+
+// Entity returns the graph behind the current view (for mutable graphs,
+// the frozen snapshot of the latest epoch).
+func (gr *Graph) Entity() *graph.EntityGraph { return gr.view().g }
+
+// Stats returns the current view's size statistics.
+func (gr *Graph) Stats() graph.Stats { return gr.view().stats }
+
+// Scores returns the current view's score set.
+func (gr *Graph) Scores() *score.Set { return gr.view().Scores() }
+
+// Discoverer returns the current view's Discoverer for the measure pair.
+// Callers needing epoch consistency across several calls should resolve
+// the view once instead.
+func (gr *Graph) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
+	return gr.view().Discoverer(km, nm)
 }

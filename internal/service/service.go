@@ -15,16 +15,19 @@ import (
 
 // Server serves a Registry over HTTP. Routes:
 //
-//	GET /healthz                          liveness probe, plain "ok"
-//	GET /v1/graphs                        registered graphs with stats
-//	GET /v1/graphs/{name}/stats           one graph's stats
-//	GET /v1/graphs/{name}/preview?...     optimal preview as JSON
-//	GET /v1/graphs/{name}/render?...      optimal preview as text/markdown
+//	GET  /healthz                          liveness probe, plain "ok"
+//	GET  /v1/graphs                        registered graphs with stats
+//	GET  /v1/graphs/{name}/stats           one graph's stats (+ epoch when mutable)
+//	GET  /v1/graphs/{name}/preview?...     optimal preview as JSON
+//	GET  /v1/graphs/{name}/render?...      optimal preview as text/markdown
+//	POST /v1/graphs/{name}/edges           apply a JSON edge batch (mutable graphs)
+//	POST /v1/graphs/{name}/triples         apply a native-format triple batch
 //
 // preview and render accept k, n, mode (concise|tight|diverse), d, key
 // (coverage|walk), nonkey (coverage|entropy), tuples and rep parameters;
-// render additionally accepts format (text|markdown). Routing is parsed
-// by hand so the package works under any go directive version (the
+// render additionally accepts format (text|markdown). The write routes
+// are documented on their handlers in write.go. Routing is parsed by hand
+// so the package works under any go directive version (the
 // pattern-matching ServeMux needs go ≥ 1.22 in go.mod).
 type Server struct {
 	reg *Registry
@@ -35,6 +38,14 @@ type Server struct {
 	// d=0 makes every type pair compatible), so without a budget one GET
 	// could pin a CPU indefinitely. Zero disables the cap.
 	SearchBudget int
+
+	// MaxBatchEdges caps the edge count of one write batch; a batch is
+	// one epoch and one score refresh, so its size bounds write-path
+	// latency. Oversized batches fail with 413 — split them client-side.
+	MaxBatchEdges int
+
+	// MaxBodyBytes caps a write request's body size (413 beyond it).
+	MaxBodyBytes int64
 }
 
 // DefaultSearchBudget bounds tight/diverse candidate generation per
@@ -43,27 +54,34 @@ type Server struct {
 // degenerate request fails in well under a second.
 const DefaultSearchBudget = 2_000_000
 
-// New returns a Server over reg with the default search budget.
-func New(reg *Registry) *Server { return &Server{reg: reg, SearchBudget: DefaultSearchBudget} }
+// DefaultMaxBatchEdges bounds one mutation batch. Each batch pays one
+// O(u·deg + K²) refresh plus one freeze, so tens of thousands of edges
+// per request keeps bulk loading fast without letting a single POST stall
+// readers' view swaps for seconds.
+const DefaultMaxBatchEdges = 50_000
+
+// DefaultMaxBodyBytes bounds a write body (a generous multiple of
+// DefaultMaxBatchEdges worth of triple lines).
+const DefaultMaxBodyBytes = 16 << 20
+
+// New returns a Server over reg with default limits.
+func New(reg *Registry) *Server {
+	return &Server{
+		reg:           reg,
+		SearchBudget:  DefaultSearchBudget,
+		MaxBatchEdges: DefaultMaxBatchEdges,
+		MaxBodyBytes:  DefaultMaxBodyBytes,
+	}
+}
 
 // errorDoc is the JSON error body for every non-2xx response.
 type errorDoc struct {
 	Error string `json:"error"`
 }
 
-// statsDoc is the JSON shape of one graph's size statistics (the paper's
-// Table 2 row).
-type statsDoc struct {
-	Name     string `json:"name"`
-	Entities int    `json:"entities"`
-	Edges    int    `json:"edges"`
-	Types    int    `json:"types"`
-	RelTypes int    `json:"rel_types"`
-}
-
 // graphsDoc is the JSON body of GET /v1/graphs.
 type graphsDoc struct {
-	Graphs []statsDoc `json:"graphs"`
+	Graphs []render.GraphStatsDoc `json:"graphs"`
 }
 
 // constraintDoc echoes the constraint a preview was discovered under.
@@ -78,8 +96,12 @@ type constraintDoc struct {
 }
 
 // previewResponse is the JSON body of GET /v1/graphs/{name}/preview.
+// Epoch is present for mutable graphs only: it names the snapshot the
+// preview was discovered against, so a client interleaving writes and
+// reads can tell whether a preview already reflects its last batch.
 type previewResponse struct {
 	Graph      string            `json:"graph"`
+	Epoch      *uint64           `json:"epoch,omitempty"`
 	Constraint constraintDoc     `json:"constraint"`
 	Key        string            `json:"key_measure"`
 	NonKey     string            `json:"non_key_measure"`
@@ -89,23 +111,44 @@ type previewResponse struct {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
-		return
-	}
 	path := r.URL.Path
 	switch {
 	case path == "/healthz":
+		if !s.requireRead(w, r) {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	case path == "/v1/graphs" || path == "/v1/graphs/":
+		if !s.requireRead(w, r) {
+			return
+		}
 		s.handleList(w)
 	case strings.HasPrefix(path, "/v1/graphs/"):
 		s.handleGraph(w, r, strings.TrimPrefix(path, "/v1/graphs/"))
 	default:
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", path))
 	}
+}
+
+// requireRead admits GET and HEAD, answering anything else with 405.
+func (s *Server) requireRead(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	return false
+}
+
+// requireWrite admits POST, answering anything else with 405.
+func (s *Server) requireWrite(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodPost {
+		return true
+	}
+	w.Header().Set("Allow", "POST")
+	s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	return false
 }
 
 // handleGraph dispatches /v1/graphs/{name}/{action}.
@@ -122,19 +165,33 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string
 	}
 	switch action {
 	case "stats":
-		s.writeJSON(w, statsFor(gr))
+		if s.requireRead(w, r) {
+			s.writeJSON(w, statsFor(gr))
+		}
 	case "preview":
-		s.handlePreview(w, r, gr)
+		if s.requireRead(w, r) {
+			s.handlePreview(w, r, gr)
+		}
 	case "render":
-		s.handleRender(w, r, gr)
+		if s.requireRead(w, r) {
+			s.handleRender(w, r, gr)
+		}
+	case "edges":
+		if s.requireWrite(w, r) {
+			s.handleEdges(w, r, gr)
+		}
+	case "triples":
+		if s.requireWrite(w, r) {
+			s.handleTriples(w, r, gr)
+		}
 	default:
 		s.writeError(w, http.StatusNotFound,
-			fmt.Errorf("no such action %q: want stats, preview or render", action))
+			fmt.Errorf("no such action %q: want stats, preview, render, edges or triples", action))
 	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter) {
-	doc := graphsDoc{Graphs: []statsDoc{}}
+	doc := graphsDoc{Graphs: []render.GraphStatsDoc{}}
 	for _, name := range s.reg.Names() {
 		gr, ok := s.reg.Get(name)
 		if !ok {
@@ -145,21 +202,22 @@ func (s *Server) handleList(w http.ResponseWriter) {
 	s.writeJSON(w, doc)
 }
 
-func statsFor(gr *Graph) statsDoc {
-	st := gr.Stats()
-	return statsDoc{
-		Name:     gr.Name(),
-		Entities: st.Entities,
-		Edges:    st.Edges,
-		Types:    st.Types,
-		RelTypes: st.RelTypes,
+func statsFor(gr *Graph) render.GraphStatsDoc {
+	// One view load: reading stats and epoch separately could pair an old
+	// epoch's counts with a concurrent writer's new epoch.
+	v := gr.view()
+	doc := render.GraphStats(gr.Name(), v.stats)
+	if v.mutable {
+		doc = doc.WithEpoch(v.epoch)
 	}
+	return doc
 }
 
-// discover runs one validated discovery request against the cached
-// Discoverer, mapping failures to HTTP statuses: empty preview space is
-// 422 (the request was well formed; the graph just cannot satisfy it).
-func (s *Server) discover(w http.ResponseWriter, r *http.Request, gr *Graph) (core.Preview, previewParams, bool) {
+// discover runs one validated discovery request against the epoch view's
+// cached Discoverer, mapping failures to HTTP statuses: empty preview
+// space is 422 (the request was well formed; the graph just cannot
+// satisfy it).
+func (s *Server) discover(w http.ResponseWriter, r *http.Request, v *view) (core.Preview, previewParams, bool) {
 	p, err := parsePreviewParams(r.URL.Query())
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -167,7 +225,7 @@ func (s *Server) discover(w http.ResponseWriter, r *http.Request, gr *Graph) (co
 	}
 	c := p.Constraint
 	c.MaxCandidates = s.SearchBudget
-	pv, err := gr.Discoverer(p.Key, p.NonKey).Discover(c)
+	pv, err := v.Discoverer(p.Key, p.NonKey).Discover(c)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -185,7 +243,8 @@ func (s *Server) discover(w http.ResponseWriter, r *http.Request, gr *Graph) (co
 
 func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph) {
 	start := time.Now()
-	pv, p, ok := s.discover(w, r, gr)
+	v := gr.view()
+	pv, p, ok := s.discover(w, r, v)
 	if !ok {
 		return
 	}
@@ -198,14 +257,19 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph
 		d := p.Constraint.D
 		mode.D = &d
 	}
-	s.writeJSON(w, previewResponse{
+	resp := previewResponse{
 		Graph:      gr.Name(),
 		Constraint: mode,
 		Key:        keyMeasureName(p.Key),
 		NonKey:     nonKeyMeasureName(p.NonKey),
-		Preview:    render.PreviewDocument(gr.Entity(), &pv, renderOptions(p)),
+		Preview:    render.PreviewDocument(v.g, &pv, renderOptions(p)),
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-	})
+	}
+	if v.mutable {
+		epoch := v.epoch
+		resp.Epoch = &epoch
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, gr *Graph) {
@@ -218,7 +282,8 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, gr *Graph)
 			fmt.Errorf("unknown format %q: want text or markdown", format))
 		return
 	}
-	pv, p, ok := s.discover(w, r, gr)
+	v := gr.view()
+	pv, p, ok := s.discover(w, r, v)
 	if !ok {
 		return
 	}
@@ -227,10 +292,10 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, gr *Graph)
 	switch format {
 	case "markdown":
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
-		err = render.MarkdownPreview(w, gr.Entity(), &pv, opts)
+		err = render.MarkdownPreview(w, v.g, &pv, opts)
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		err = render.Preview(w, gr.Entity(), &pv, opts)
+		err = render.Preview(w, v.g, &pv, opts)
 	}
 	// The status line is already out; all we can do is stop writing.
 	_ = err

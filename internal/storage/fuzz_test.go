@@ -1,0 +1,88 @@
+package storage_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/storage"
+)
+
+// fig1Snapshot returns the serialized Fig. 1 graph, the seed every
+// corruption test mutates.
+func fig1Snapshot(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := storage.Write(&buf, fig1.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSnapshot is the decoder's robustness contract: for arbitrary
+// input bytes, Read must never panic, and every failure on in-memory data
+// must be ErrCorrupt — nothing else can leak out of the decoding layer.
+// Inputs that do decode must re-encode and decode to the same shape
+// (round-trip closure).
+func FuzzReadSnapshot(f *testing.F) {
+	valid := fig1Snapshot(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("EGPT"))
+	f.Add(valid[:len(valid)/2]) // truncated
+	mid := append([]byte(nil), valid...)
+	mid[len(mid)/2] ^= 0xff // flipped payload byte
+	f.Add(mid)
+	ver := append([]byte(nil), valid...)
+	ver[4] = 0x2a // future version
+	f.Add(ver)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := storage.Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := storage.Write(&buf, g); err != nil {
+			t.Fatalf("re-encoding a decoded snapshot: %v", err)
+		}
+		g2, err := storage.Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded snapshot: %v", err)
+		}
+		if g.Stats() != g2.Stats() {
+			t.Fatalf("round trip changed stats: %v vs %v", g.Stats(), g2.Stats())
+		}
+	})
+}
+
+// TestReadCorruptExhaustive flips every byte of a valid snapshot in turn
+// and truncates it at every prefix: each mutation must fail loudly — the
+// checksum guarantees no single-byte flip slips through — and every
+// failure must be ErrCorrupt, never a panic or a raw io error.
+func TestReadCorruptExhaustive(t *testing.T) {
+	valid := fig1Snapshot(t)
+	check := func(data []byte, what string) {
+		t.Helper()
+		_, err := storage.Read(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: decoded successfully, want failure", what)
+		}
+		if !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("%s: unclassified error: %v", what, err)
+		}
+	}
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x01
+		check(mut, fmt.Sprintf("flip byte %d", i))
+	}
+	for i := 0; i < len(valid); i++ {
+		check(valid[:i], fmt.Sprintf("truncate at %d", i))
+	}
+}

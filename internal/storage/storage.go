@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"github.com/uta-db/previewtables/internal/graph"
 )
@@ -114,6 +115,33 @@ func Write(w io.Writer, g *graph.EntityGraph) error {
 type crcReader struct {
 	r   *bufio.Reader
 	crc hash.Hash32
+	// ioErr records a genuine transport failure of the underlying reader
+	// (anything but running out of bytes), so fail can keep it apart from
+	// data corruption.
+	ioErr error
+}
+
+func (cr *crcReader) note(err error) {
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF && cr.ioErr == nil {
+		cr.ioErr = err
+	}
+}
+
+// fail classifies a decoding failure: transport errors pass through
+// untouched; everything else — truncation, varint overflow, structural
+// violations — means the bytes are not a valid snapshot and wraps
+// ErrCorrupt, so callers (and fuzzing) can rely on errors.Is.
+func (cr *crcReader) fail(err error) error {
+	if err == nil {
+		return nil
+	}
+	if cr.ioErr != nil {
+		return cr.ioErr
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
 }
 
 func (cr *crcReader) ReadByte() (byte, error) {
@@ -121,11 +149,13 @@ func (cr *crcReader) ReadByte() (byte, error) {
 	if err == nil {
 		cr.crc.Write([]byte{b})
 	}
+	cr.note(err)
 	return b, err
 }
 
 func (cr *crcReader) read(p []byte) error {
 	if _, err := io.ReadFull(cr.r, p); err != nil {
+		cr.note(err)
 		return err
 	}
 	cr.crc.Write(p)
@@ -158,17 +188,21 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 	cr := &crcReader{r: bufio.NewReader(r), crc: crc32.New(castagnoli)}
 	var m [4]byte
 	if err := cr.read(m[:]); err != nil {
-		return nil, err
+		return nil, cr.fail(err)
 	}
 	if m != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	ver, err := cr.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, cr.fail(err)
 	}
 	if ver != Version {
-		return nil, fmt.Errorf("storage: unsupported snapshot version %d", ver)
+		// Classified as corrupt: with only one version ever written, any
+		// other value is a damaged byte, not a future format. Revisit when
+		// Version 2 exists (an unsupported-but-valid file would deserve its
+		// own error).
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, ver)
 	}
 
 	const maxName = 1 << 20
@@ -176,7 +210,7 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 
 	nTypes, err := cr.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, cr.fail(err)
 	}
 	if nTypes > 1<<24 {
 		return nil, fmt.Errorf("%w: type count %d", ErrCorrupt, nTypes)
@@ -185,14 +219,14 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 	for i := range types {
 		name, err := cr.str(maxName)
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		types[i] = b.Type(name)
 	}
 
 	nRels, err := cr.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, cr.fail(err)
 	}
 	if nRels > 1<<24 {
 		return nil, fmt.Errorf("%w: relationship count %d", ErrCorrupt, nRels)
@@ -201,15 +235,15 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 	for i := range rels {
 		name, err := cr.str(maxName)
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		from, err := cr.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		to, err := cr.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		if from >= nTypes || to >= nTypes {
 			return nil, fmt.Errorf("%w: relationship endpoint out of range", ErrCorrupt)
@@ -219,7 +253,7 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 
 	nEnts, err := cr.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, cr.fail(err)
 	}
 	if nEnts > 1<<31 {
 		return nil, fmt.Errorf("%w: entity count %d", ErrCorrupt, nEnts)
@@ -228,11 +262,11 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 	for i := range ents {
 		name, err := cr.str(maxName)
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		nt, err := cr.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		if nt == 0 || nt > nTypes {
 			return nil, fmt.Errorf("%w: entity type count %d", ErrCorrupt, nt)
@@ -241,7 +275,7 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 		for j := range ts {
 			t, err := cr.uvarint()
 			if err != nil {
-				return nil, err
+				return nil, cr.fail(err)
 			}
 			if t >= nTypes {
 				return nil, fmt.Errorf("%w: entity type out of range", ErrCorrupt)
@@ -253,7 +287,7 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 
 	nEdges, err := cr.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, cr.fail(err)
 	}
 	if nEdges > 1<<31 {
 		return nil, fmt.Errorf("%w: edge count %d", ErrCorrupt, nEdges)
@@ -261,15 +295,15 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 	for i := uint64(0); i < nEdges; i++ {
 		from, err := cr.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		rel, err := cr.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		to, err := cr.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, cr.fail(err)
 		}
 		if from >= nEnts || to >= nEnts || rel >= nRels {
 			return nil, fmt.Errorf("%w: edge reference out of range", ErrCorrupt)
@@ -285,7 +319,11 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 	if binary.BigEndian.Uint32(sum[:]) != want {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	return b.Build()
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return g, nil
 }
 
 // SaveFile writes a snapshot to path, atomically via a temp file rename.
@@ -315,4 +353,44 @@ func LoadFile(path string) (*graph.EntityGraph, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// Checkpointer persists successive epochs of a mutating graph to one
+// snapshot file. Save is epoch-aware: re-saving an epoch that is already
+// on disk is a no-op, so a periodic checkpoint loop costs nothing while
+// the graph is quiet. Writes go through SaveFile's atomic temp-file
+// rename, so a crash mid-checkpoint leaves the previous snapshot intact.
+// Safe for concurrent use.
+type Checkpointer struct {
+	path string
+
+	mu    sync.Mutex
+	last  uint64
+	saved bool
+}
+
+// NewCheckpointer returns a checkpointer writing to path. Nothing is
+// saved yet — the first Save call writes unconditionally.
+func NewCheckpointer(path string) *Checkpointer {
+	return &Checkpointer{path: path}
+}
+
+// Path returns the snapshot file path.
+func (c *Checkpointer) Path() string { return c.path }
+
+// Save writes g to the checkpoint file unless epoch is already the one on
+// disk; it reports whether a write happened. Concurrent calls serialize,
+// and a failed write stays retryable (the recorded epoch only advances on
+// success).
+func (c *Checkpointer) Save(g *graph.EntityGraph, epoch uint64) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.saved && c.last == epoch {
+		return false, nil
+	}
+	if err := SaveFile(c.path, g); err != nil {
+		return false, err
+	}
+	c.last, c.saved = epoch, true
+	return true, nil
 }

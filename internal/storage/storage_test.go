@@ -140,3 +140,39 @@ func TestSaveLoadFile(t *testing.T) {
 		t.Error("loading a missing file should fail")
 	}
 }
+
+func TestCheckpointerSkipsUnchangedEpochs(t *testing.T) {
+	dir := t.TempDir()
+	ck := storage.NewCheckpointer(filepath.Join(dir, "g.egpt"))
+	g := fig1.Graph()
+
+	wrote, err := ck.Save(g, 0)
+	if err != nil || !wrote {
+		t.Fatalf("first save: wrote=%v err=%v, want write", wrote, err)
+	}
+	wrote, err = ck.Save(g, 0)
+	if err != nil || wrote {
+		t.Fatalf("same-epoch save: wrote=%v err=%v, want skip", wrote, err)
+	}
+	wrote, err = ck.Save(g, 3)
+	if err != nil || !wrote {
+		t.Fatalf("new-epoch save: wrote=%v err=%v, want write", wrote, err)
+	}
+
+	loaded, err := storage.LoadFile(ck.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != g.Stats() {
+		t.Fatalf("checkpoint round trip: %v vs %v", loaded.Stats(), g.Stats())
+	}
+}
+
+func TestCheckpointerFailureStaysRetryable(t *testing.T) {
+	// A path whose parent does not exist fails; the epoch must not be
+	// recorded as saved, so a retry against a fixed path would write.
+	ck := storage.NewCheckpointer(filepath.Join(t.TempDir(), "missing", "g.egpt"))
+	if wrote, err := ck.Save(fig1.Graph(), 1); err == nil || wrote {
+		t.Fatalf("save into missing dir: wrote=%v err=%v, want error", wrote, err)
+	}
+}

@@ -81,9 +81,42 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("triple: line %d: %s", e.Line, e.Msg)
 }
 
-// Unmarshal reads a native-format graph.
-func Unmarshal(r io.Reader) (*graph.EntityGraph, error) {
-	var b graph.Builder
+// Sink receives parsed native-format directives. Decode resolves names to
+// IDs through the sink itself, so any upsert-style graph representation —
+// graph.Builder for batch loading, dynamic.Graph for live ingestion —
+// can be the target of one shared parser.
+type Sink interface {
+	// Type declares (or finds) an entity type.
+	Type(name string) graph.TypeID
+	// RelType declares (or finds) a relationship type.
+	RelType(name string, from, to graph.TypeID) (graph.RelTypeID, error)
+	// Entity declares (or finds) an entity, adding any new types to it.
+	Entity(name string, types ...graph.TypeID) graph.EntityID
+	// Edge inserts one relationship instance.
+	Edge(from, to graph.EntityID, rel graph.RelTypeID) error
+}
+
+// BuilderSink adapts graph.Builder (whose methods are infallible) to Sink.
+type BuilderSink struct{ B *graph.Builder }
+
+func (s BuilderSink) Type(name string) graph.TypeID { return s.B.Type(name) }
+
+func (s BuilderSink) RelType(name string, from, to graph.TypeID) (graph.RelTypeID, error) {
+	return s.B.RelType(name, from, to), nil
+}
+
+func (s BuilderSink) Entity(name string, types ...graph.TypeID) graph.EntityID {
+	return s.B.Entity(name, types...)
+}
+
+func (s BuilderSink) Edge(from, to graph.EntityID, rel graph.RelTypeID) error {
+	s.B.Edge(from, to, rel)
+	return nil
+}
+
+// Decode parses the native format into sink, one directive at a time.
+// Errors — syntactic or returned by the sink — carry the line number.
+func Decode(r io.Reader, sink Sink) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	lineNo := 0
@@ -95,41 +128,54 @@ func Unmarshal(r io.Reader) (*graph.EntityGraph, error) {
 		}
 		fields, err := splitQuoted(line)
 		if err != nil {
-			return nil, &ParseError{lineNo, err.Error()}
+			return &ParseError{lineNo, err.Error()}
 		}
 		switch fields[0] {
 		case "type":
 			if len(fields) != 2 {
-				return nil, &ParseError{lineNo, "type wants 1 argument"}
+				return &ParseError{lineNo, "type wants 1 argument"}
 			}
-			b.Type(fields[1])
+			sink.Type(fields[1])
 		case "rel":
 			if len(fields) != 4 {
-				return nil, &ParseError{lineNo, "rel wants 3 arguments"}
+				return &ParseError{lineNo, "rel wants 3 arguments"}
 			}
-			b.RelType(fields[1], b.Type(fields[2]), b.Type(fields[3]))
+			if _, err := sink.RelType(fields[1], sink.Type(fields[2]), sink.Type(fields[3])); err != nil {
+				return &ParseError{lineNo, err.Error()}
+			}
 		case "entity":
 			if len(fields) < 3 {
-				return nil, &ParseError{lineNo, "entity wants a name and at least one type"}
+				return &ParseError{lineNo, "entity wants a name and at least one type"}
 			}
 			types := make([]graph.TypeID, 0, len(fields)-2)
 			for _, t := range fields[2:] {
-				types = append(types, b.Type(t))
+				types = append(types, sink.Type(t))
 			}
-			b.Entity(fields[1], types...)
+			sink.Entity(fields[1], types...)
 		case "edge":
 			if len(fields) != 6 {
-				return nil, &ParseError{lineNo, "edge wants 5 arguments"}
+				return &ParseError{lineNo, "edge wants 5 arguments"}
 			}
-			from := b.Type(fields[3])
-			to := b.Type(fields[4])
-			rel := b.RelType(fields[2], from, to)
-			b.Edge(b.Entity(fields[1], from), b.Entity(fields[5], to), rel)
+			from := sink.Type(fields[3])
+			to := sink.Type(fields[4])
+			rel, err := sink.RelType(fields[2], from, to)
+			if err != nil {
+				return &ParseError{lineNo, err.Error()}
+			}
+			if err := sink.Edge(sink.Entity(fields[1], from), sink.Entity(fields[5], to), rel); err != nil {
+				return &ParseError{lineNo, err.Error()}
+			}
 		default:
-			return nil, &ParseError{lineNo, fmt.Sprintf("unknown directive %q", fields[0])}
+			return &ParseError{lineNo, fmt.Sprintf("unknown directive %q", fields[0])}
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// Unmarshal reads a native-format graph.
+func Unmarshal(r io.Reader) (*graph.EntityGraph, error) {
+	var b graph.Builder
+	if err := Decode(r, BuilderSink{&b}); err != nil {
 		return nil, err
 	}
 	return b.Build()

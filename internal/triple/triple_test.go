@@ -2,6 +2,7 @@ package triple_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -198,5 +199,67 @@ func TestReadNTriplesMalformed(t *testing.T) {
 		if _, err := triple.ReadNTriples(strings.NewReader(src), triple.NTriplesOptions{DropLiterals: true}); err == nil {
 			t.Errorf("expected parse error for %q", src)
 		}
+	}
+}
+
+// recordSink captures directives as strings, proving Decode resolves
+// names through the sink rather than a private builder.
+type recordSink struct {
+	names []string
+	log   []string
+	fail  bool
+}
+
+func (s *recordSink) intern(name string) int {
+	for i, n := range s.names {
+		if n == name {
+			return i
+		}
+	}
+	s.names = append(s.names, name)
+	return len(s.names) - 1
+}
+
+func (s *recordSink) Type(name string) graph.TypeID {
+	return graph.TypeID(s.intern("t:" + name))
+}
+
+func (s *recordSink) RelType(name string, from, to graph.TypeID) (graph.RelTypeID, error) {
+	if s.fail {
+		return 0, fmt.Errorf("sink rejected %q", name)
+	}
+	s.log = append(s.log, fmt.Sprintf("rel %s %d->%d", name, from, to))
+	return graph.RelTypeID(s.intern("r:" + name)), nil
+}
+
+func (s *recordSink) Entity(name string, types ...graph.TypeID) graph.EntityID {
+	return graph.EntityID(s.intern("e:" + name))
+}
+
+func (s *recordSink) Edge(from, to graph.EntityID, rel graph.RelTypeID) error {
+	s.log = append(s.log, fmt.Sprintf("edge %d-%d-%d", from, rel, to))
+	return nil
+}
+
+func TestDecodeIntoCustomSink(t *testing.T) {
+	src := `type "A"
+rel "r" "A" "B"
+entity "x" "A"
+edge "x" "r" "A" "B" "y"
+`
+	var sink recordSink
+	if err := triple.Decode(strings.NewReader(src), &sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.log) != 3 { // rel directive, edge's rel resolution, edge
+		t.Fatalf("directive log: %v", sink.log)
+	}
+}
+
+func TestDecodeSinkErrorCarriesLine(t *testing.T) {
+	src := "type \"A\"\nrel \"r\" \"A\" \"A\"\n"
+	if err := triple.Decode(strings.NewReader(src), &recordSink{fail: true}); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("sink error lost its line: %v", err)
 	}
 }
