@@ -11,6 +11,7 @@ package previewtables_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"github.com/uta-db/previewtables/internal/experiments"
 	"github.com/uta-db/previewtables/internal/freebase"
 	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/par"
 	"github.com/uta-db/previewtables/internal/score"
 	"github.com/uta-db/previewtables/internal/storage"
 	"github.com/uta-db/previewtables/internal/study"
@@ -590,5 +592,92 @@ func BenchmarkFullRecompute(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = score.Compute(src, score.DefaultWalkOptions())
+	}
+}
+
+// --- Parallel hot paths (BENCH_parallel_hotpaths.json) -------------------
+
+// The parallel benchmarks run on a generated graph at serving scale
+// (TargetEntities ≥ 1e5, far beyond the laptop-scale benchGen domains) so
+// the worker pools have real work to amortize their coordination against.
+// Generated once per process and shared.
+var (
+	parBenchOnce  sync.Once
+	parBenchGraph *graph.EntityGraph
+	parBenchSet   *score.Set
+)
+
+func parallelBenchSetup(b *testing.B) (*graph.EntityGraph, *score.Set) {
+	b.Helper()
+	parBenchOnce.Do(func() {
+		g, err := freebase.Generate("music", freebase.GenOptions{TargetEntities: 100_000, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		parBenchGraph = g
+		parBenchSet = score.Compute(g, score.DefaultWalkOptions())
+	})
+	return parBenchGraph, parBenchSet
+}
+
+// parBenchWorkers is the pool size of the "parallel" arms: every core, but
+// at least two so the pooled code path is exercised (and its coordination
+// cost visible) even on a single-core machine.
+func parBenchWorkers() int {
+	if w := par.Auto(); w > 1 {
+		return w
+	}
+	return 2
+}
+
+// BenchmarkParallelScore: the full scoring precomputation — per-type
+// entropy and coverage fan-out plus the blocked parallel power iteration —
+// sequential vs worker pool. The two arms produce bit-identical Sets
+// (TestScoreComputeParallelBitIdentical); this measures the speedup.
+func BenchmarkParallelScore(b *testing.B) {
+	g, _ := parallelBenchSetup(b)
+	for _, workers := range []int{1, parBenchWorkers()} {
+		b.Run(fmt.Sprintf("P%d", workers), func(b *testing.B) {
+			opts := score.DefaultWalkOptions()
+			opts.Parallelism = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = score.Compute(g, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDiscover: exact distance-constrained search at serving
+// scale, sequential vs worker pool — the Apriori level-wise search and the
+// ground-truth brute force, both returning identical previews at any
+// worker count (TestDiscoverDifferential).
+func BenchmarkParallelDiscover(b *testing.B) {
+	_, set := parallelBenchSetup(b)
+	apriori := core.Constraint{K: 5, N: 10, Mode: core.Diverse, D: 2}
+	brute := core.Constraint{K: 4, N: 8, Mode: core.Tight, D: 2}
+	for _, workers := range []int{1, parBenchWorkers()} {
+		d := core.New(set, core.Options{Key: score.KeyCoverage, NonKey: score.NonKeyCoverage, Parallelism: workers})
+		b.Run(fmt.Sprintf("Apriori/P%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.AprioriParallel(apriori, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("BruteForce/P%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				if workers == 1 {
+					_, err = d.BruteForce(brute)
+				} else {
+					_, err = d.BruteForceParallel(brute, workers)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -53,6 +54,8 @@ func main() {
 	reg := service.NewRegistry()
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.Float64("scale", 0, "synthetic generation scale for -domain (0 = default)")
+	parallelism := flag.Int("parallelism", 0, "worker count for scoring precomputation, incremental refreshes and preview search (0 = one per core, 1 = sequential); results are identical at any setting")
+	entities := flag.Int("entities", 0, "with -domain: target entity count for synthetic generation, overriding -scale (0 = use -scale)")
 	warm := flag.Bool("warm", true, "precompute scores for every graph before serving (first requests would otherwise pay it, possibly past the write timeout)")
 	mutable := flag.Bool("mutable", false, "serve every graph as mutable: POST /v1/graphs/{name}/edges and .../triples apply live updates with epoch-versioned snapshots")
 	ckptDir := flag.String("checkpoint-dir", "", "with -mutable: directory for periodic snapshot persistence of mutated graphs (one <name>.egpt per graph)")
@@ -72,12 +75,20 @@ func main() {
 	flag.Func("domain", "register a synthetic domain under its own name (repeatable): "+
 		strings.Join(freebase.Domains(), ", "), func(v string) error {
 		loads = append(loads, func() (string, *previewtables.EntityGraph, error) {
-			g, err := genDomain(v, *scale)
+			g, err := genDomain(v, *scale, *entities)
 			return v, g, err
 		})
 		return nil
 	})
 	flag.Parse()
+
+	workers := *parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	reg.Parallelism = workers
+	walkOpts := score.DefaultWalkOptions()
+	walkOpts.Parallelism = workers
 
 	if len(loads) == 0 {
 		fmt.Fprintln(os.Stderr, "previewd: no graphs; pass at least one -graph name=path or -domain name")
@@ -101,7 +112,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			live, err := dynamic.NewLive(dg, score.DefaultWalkOptions())
+			live, err := dynamic.NewLive(dg, walkOpts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -141,7 +152,7 @@ func main() {
 	if *mutable {
 		mode = "mutable"
 	}
-	log.Printf("serving %d %s graph(s) %v on %s", len(reg.Names()), mode, reg.Names(), *addr)
+	log.Printf("serving %d %s graph(s) %v on %s (parallelism %d)", len(reg.Names()), mode, reg.Names(), *addr, workers)
 	log.Fatal(srv.ListenAndServe())
 }
 
@@ -205,10 +216,13 @@ func loadFile(path string) (*previewtables.EntityGraph, error) {
 }
 
 // genDomain generates a synthetic Freebase-like domain.
-func genDomain(domain string, scale float64) (*previewtables.EntityGraph, error) {
+func genDomain(domain string, scale float64, entities int) (*previewtables.EntityGraph, error) {
 	opts := freebase.DefaultGenOptions()
 	if scale > 0 {
 		opts.Scale = scale
+	}
+	if entities > 0 {
+		opts.TargetEntities = entities
 	}
 	return freebase.Generate(domain, opts)
 }

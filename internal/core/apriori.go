@@ -95,7 +95,11 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 		}
 		stats.SubsetsScored++
 		score := d.previewScore(keys, c.N, take)
-		if !found || score > bestScore {
+		// Explicit lexicographic tie-break, matching BruteForce and the
+		// parallel searches' merge step (levels are lex-sorted, so first
+		// wins was already lex-smallest; now the policy is stated).
+		if !found || score > bestScore ||
+			(score == bestScore && lessKeys(keys, bestKeys)) {
 			bestScore = score
 			bestKeys = append(bestKeys[:0], keys...)
 			found = true
@@ -184,7 +188,8 @@ func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
 		if pos == c.K {
 			stats.SubsetsScored++
 			score := d.previewScore(subset, c.N, take)
-			if !found || score > bestScore {
+			if !found || score > bestScore ||
+				(score == bestScore && lessKeys(subset, bestKeys)) {
 				bestScore = score
 				bestKeys = append(bestKeys[:0], subset...)
 				found = true

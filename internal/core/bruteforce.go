@@ -44,7 +44,12 @@ func (d *Discoverer) BruteForce(c Constraint) (Preview, error) {
 			}
 			stats.SubsetsScored++
 			score := d.previewScore(subset, c.N, take)
-			if !found || score > bestScore {
+			// Ties break toward the lexicographically smallest key subset —
+			// redundant while enumeration is lexicographic (first wins), but
+			// stated explicitly so the policy survives reordering and matches
+			// the parallel searches' merge step.
+			if !found || score > bestScore ||
+				(score == bestScore && lessKeys(subset, bestKeys)) {
 				bestScore = score
 				bestKeys = append(bestKeys[:0], subset...)
 				found = true

@@ -1,18 +1,42 @@
 package core
 
-// Parallel brute force. The exhaustive search of Alg. 1 is embarrassingly
-// parallel: the k-subset space partitions by first element, and a
-// Discoverer is read-only during search, so workers share it freely. This
-// is an engineering extension beyond the paper (whose C++ implementation
-// was single-threaded); it exists to make ground-truth validation of the
-// faster algorithms affordable on larger schemas, and as the subject of an
-// ablation benchmark.
+// Parallel exact search. The k-subset enumerations behind every discovery
+// mode are embarrassingly parallel — the subset space partitions into
+// contiguous ranges, and a Discoverer is read-only during search, so
+// workers share it freely. This file holds the worker-pool versions:
+// BruteForceParallel (Alg. 1 partitioned by first element) and
+// AprioriParallel (Alg. 3 with every level-wise stage partitioned into
+// spans). Both promise results identical to their sequential
+// counterparts:
+//
+//   - Candidate order is preserved: each stage's spans are concatenated in
+//     span order, reproducing the sequential (lexicographic) level layout
+//     exactly, so downstream stages see the same input either way.
+//   - Per-worker bests merge deterministically: equal scores break toward
+//     the lexicographically smallest key subset (lessKeys), the same
+//     policy the sequential searches state inline — which subset a worker
+//     happened to score never shows through.
+//   - The Constraint.MaxCandidates budget is enforced through a shared
+//     atomic counter: the search errors with ErrSearchBudget exactly when
+//     the total candidate volume exceeds the budget, the same outcome as
+//     the sequential check. Workers may transiently overshoot the counter
+//     before observing the abort flag (by at most one in-flight candidate
+//     per worker — the first failed take stops a worker's stage), but the
+//     overshoot is never published: success and failure, and the preview
+//     returned on success, are identical at any worker count.
+//
+// This is an engineering extension beyond the paper (whose C++
+// implementation was single-threaded); it makes ground-truth validation of
+// the faster algorithms affordable on larger schemas and lets one server
+// answer distance-constrained previews with all its cores.
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/par"
 )
 
 // BruteForceParallel is BruteForce distributed over workers goroutines
@@ -124,4 +148,236 @@ func lessKeys(a, b []graph.TypeID) bool {
 		}
 	}
 	return len(a) < len(b)
+}
+
+// DiscoverParallel is Discover with an explicit worker count: dynamic
+// programming for concise previews (whose cost is bounded by the
+// display-sized constraint, not the subset space — there is nothing worth
+// fanning out), AprioriParallel for tight and diverse previews. It returns
+// exactly the preview Discover returns.
+func (d *Discoverer) DiscoverParallel(c Constraint, workers int) (Preview, error) {
+	if c.Mode == Concise {
+		return d.DynamicProgramming(c)
+	}
+	return d.AprioriParallel(c, workers)
+}
+
+// spanFactor is how many spans each stage plans per worker. More spans
+// than workers keeps the pull-based pool load-balanced when candidate
+// blocks are skewed; the partition never affects results, only balance.
+const spanFactor = 8
+
+// budgetCounter enforces Constraint.MaxCandidates across workers: every
+// produced candidate takes one ticket from a shared atomic counter, and
+// the first take past the limit raises the exceeded flag that workers poll
+// at stage boundaries. The counter may transiently run past the limit
+// (bounded by one in-flight candidate per worker), but the overshoot is
+// never published — the search's outcome depends only on whether the total
+// candidate volume exceeds the budget, exactly like the sequential check.
+type budgetCounter struct {
+	limit    int64 // <= 0: unlimited
+	produced atomic.Int64
+	exceeded atomic.Bool
+}
+
+func newBudgetCounter(limit int) *budgetCounter {
+	return &budgetCounter{limit: int64(limit)}
+}
+
+// take accounts one produced candidate, reporting false once the budget is
+// exhausted. Unlimited budgets skip the shared counter entirely: a
+// contended atomic add per candidate on the innermost join loop would
+// serialize the very stage being parallelized, and with no limit the
+// counter decides nothing (stats come from the level lengths).
+func (b *budgetCounter) take() bool {
+	if b.limit <= 0 {
+		return true
+	}
+	if n := b.produced.Add(1); n > b.limit {
+		b.exceeded.Store(true)
+		return false
+	}
+	return true
+}
+
+// ok reports whether the budget still holds.
+func (b *budgetCounter) ok() bool { return !b.exceeded.Load() }
+
+// concatInt32 concatenates span outputs in span order, reproducing the
+// sequential enumeration order exactly.
+func concatInt32(parts [][]int32) []int32 {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int32, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// AprioriParallel is Apriori distributed over workers goroutines (NumCPU
+// when workers <= 0; the sequential implementation when workers == 1).
+// Every stage — valid-pair generation, each level-wise join, and the final
+// candidate scoring — partitions its input into contiguous spans executed
+// by a shared worker pool, with span outputs concatenated in span order so
+// each level's flat layout matches the sequential search bit for bit. It
+// returns exactly the preview (and stats) Apriori returns, including
+// ErrSearchBudget under exactly the same candidate volumes.
+func (d *Discoverer) AprioriParallel(c Constraint, workers int) (Preview, error) {
+	if err := c.Validate(); err != nil {
+		return Preview{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return d.Apriori(c)
+	}
+	types := d.usableTypes()
+	if len(types) < c.K {
+		return Preview{}, ErrNoPreview
+	}
+	if c.Mode != Concise {
+		d.Distances() // materialize once, not under every worker's first query
+	}
+
+	k := c.K
+	budget := newBudgetCounter(c.MaxCandidates)
+	candTotal := 0 // CandidatesGenerated, accumulated from level lengths
+	var level []int32
+	stride := 0
+	if k == 1 {
+		stride = 1
+		level = make([]int32, len(types))
+		for i := range types {
+			level[i] = int32(i)
+		}
+	} else {
+		// Level 2: valid pairs, partitioned by first element.
+		stride = 2
+		spans := par.Spans(len(types), workers*spanFactor)
+		parts := make([][]int32, len(spans))
+		par.ForEach(workers, len(spans), func(si int) {
+			var out []int32
+			for i := spans[si].Lo; i < spans[si].Hi && budget.ok(); i++ {
+				for j := i + 1; j < len(types); j++ {
+					if !d.distOK(c, types[i], types[j]) {
+						continue
+					}
+					if !budget.take() {
+						return
+					}
+					out = append(out, int32(i), int32(j))
+				}
+			}
+			parts[si] = out
+		})
+		if !budget.ok() {
+			return Preview{}, ErrSearchBudget
+		}
+		level = concatInt32(parts)
+		candTotal += len(level) / 2
+		for size := 3; size <= k && len(level) > 0; size++ {
+			var err error
+			if level, err = d.joinLevelParallel(c, types, level, stride, workers, budget); err != nil {
+				return Preview{}, err
+			}
+			stride = size
+			candTotal += len(level) / stride
+		}
+	}
+	stats := SearchStats{CandidatesGenerated: candTotal}
+	if len(level) == 0 {
+		return Preview{}, ErrNoPreview
+	}
+
+	// Score the surviving k-subsets: per-span bests, merged in span order
+	// with the lexicographic tie-break. Spans cover ascending candidate
+	// ranges of a lex-sorted level, so the merged winner is the same
+	// subset the sequential scan keeps.
+	nCands := len(level) / stride
+	type best struct {
+		keys  []graph.TypeID
+		score float64
+		found bool
+	}
+	spans := par.Spans(nCands, workers*spanFactor)
+	bests := make([]best, len(spans))
+	par.ForEach(workers, len(spans), func(si int) {
+		keys := make([]graph.TypeID, stride)
+		take := make([]int, stride)
+		res := &bests[si]
+		for cand := spans[si].Lo; cand < spans[si].Hi; cand++ {
+			off := cand * stride
+			for i := 0; i < stride; i++ {
+				keys[i] = types[level[off+i]]
+			}
+			score := d.previewScore(keys, c.N, take)
+			if !res.found || score > res.score ||
+				(score == res.score && lessKeys(keys, res.keys)) {
+				res.score = score
+				res.keys = append(res.keys[:0], keys...)
+				res.found = true
+			}
+		}
+	})
+	stats.SubsetsScored = nCands
+	var win best
+	for _, rb := range bests {
+		if !rb.found {
+			continue
+		}
+		if !win.found || rb.score > win.score ||
+			(rb.score == win.score && lessKeys(rb.keys, win.keys)) {
+			win = rb
+		}
+	}
+	if !win.found {
+		return Preview{}, ErrNoPreview
+	}
+	p, err := d.ComputePreview(win.keys, c.N)
+	if err != nil {
+		return Preview{}, err
+	}
+	p.Stats = stats
+	return p, nil
+}
+
+// joinLevelParallel is joinLevel with the candidate blocks partitioned
+// across workers. Span outputs concatenate in span order, so the produced
+// level is identical to the sequential join's; the budget flows through
+// the shared counter.
+func (d *Discoverer) joinLevelParallel(c Constraint, types []graph.TypeID, level []int32, stride, workers int, budget *budgetCounter) ([]int32, error) {
+	nCands := len(level) / stride
+	spans := par.Spans(nCands, workers*spanFactor)
+	parts := make([][]int32, len(spans))
+	par.ForEach(workers, len(spans), func(si int) {
+		var out []int32
+		for a := spans[si].Lo; a < spans[si].Hi && budget.ok(); a++ {
+			offA := a * stride
+			for b := a + 1; b < nCands; b++ {
+				offB := b * stride
+				if !samePrefix(level[offA:offA+stride], level[offB:offB+stride]) {
+					break
+				}
+				ta := types[level[offA+stride-1]]
+				tb := types[level[offB+stride-1]]
+				if !d.distOK(c, ta, tb) {
+					continue
+				}
+				if !budget.take() {
+					return
+				}
+				out = append(out, level[offA:offA+stride]...)
+				out = append(out, level[offB+stride-1])
+			}
+		}
+		parts[si] = out
+	})
+	if !budget.ok() {
+		return nil, ErrSearchBudget
+	}
+	return concatInt32(parts), nil
 }

@@ -1,0 +1,197 @@
+package experiments
+
+// In-package coverage for the efficiency harness's extrapolation helpers —
+// the cap decisions (binomial), the candidate-volume prediction
+// (estimateAprioriCandidates), the empty-space convention (swallowEmpty),
+// and the measure* paths that switch between direct timing and
+// rate-based extrapolation.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/uta-db/previewtables/internal/core"
+	"github.com/uta-db/previewtables/internal/freebase"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {5, 3, 10}, {6, 0, 1}, {6, 6, 1}, {6, 1, 6},
+		{10, 4, 210}, {0, 0, 1}, {4, 5, 0}, {4, -1, 0}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); math.Abs(got-c.want) > 1e-6*math.Max(1, c.want) {
+			t.Errorf("binomial(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	// Symmetry and Pascal's rule on a larger instance.
+	if a, b := binomial(30, 12), binomial(30, 18); math.Abs(a-b) > 1e-3 {
+		t.Errorf("binomial symmetry broken: C(30,12)=%v, C(30,18)=%v", a, b)
+	}
+	if got, want := binomial(20, 10), binomial(19, 9)+binomial(19, 10); math.Abs(got-want) > 1e-3 {
+		t.Errorf("Pascal's rule broken: C(20,10)=%v, C(19,9)+C(19,10)=%v", got, want)
+	}
+}
+
+func TestSwallowEmpty(t *testing.T) {
+	if err := swallowEmpty(nil); err != nil {
+		t.Errorf("swallowEmpty(nil) = %v", err)
+	}
+	if err := swallowEmpty(core.ErrNoPreview); err != nil {
+		t.Errorf("swallowEmpty(ErrNoPreview) = %v, want nil: proving emptiness is timed work", err)
+	}
+	wrapped := errors.New("wrapping: " + core.ErrNoPreview.Error())
+	if err := swallowEmpty(wrapped); err == nil {
+		t.Error("swallowEmpty swallowed a non-ErrNoPreview error")
+	}
+	if err := swallowEmpty(core.ErrSearchBudget); !errors.Is(err, core.ErrSearchBudget) {
+		t.Errorf("swallowEmpty(ErrSearchBudget) = %v, want pass-through", err)
+	}
+}
+
+// tinyRunner builds a Runner over small generated domains with the given
+// extrapolation caps.
+func tinyRunner(bfCap, apCap float64) *Runner {
+	return New(Config{
+		Gen:                 freebase.GenOptions{Scale: 1e-4, Seed: 17, MinEntities: 300, MinEdges: 1200},
+		Seed:                17,
+		Repeats:             1,
+		BFSubsetCap:         bfCap,
+		AprioriCandidateCap: apCap,
+	})
+}
+
+func TestEstimateAprioriCandidates(t *testing.T) {
+	r := tinyRunner(1e9, 1e9)
+	d, err := r.discoverer("basketball")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Schema().NumTypes()
+
+	// Degenerate inputs: k < 2 returns the type count with density 1.
+	est, density := r.estimateAprioriCandidates(d, core.Constraint{K: 1, N: 2, Mode: core.Tight, D: 2})
+	if est != float64(n) || density != 1 {
+		t.Errorf("k=1: est=%v density=%v, want %d and 1", est, density, n)
+	}
+
+	// Concise mode: every pair is valid, so density is exactly 1 and the
+	// estimate is the full level-volume sum Σ C(n, i).
+	est, density = r.estimateAprioriCandidates(d, core.Constraint{K: 3, N: 6, Mode: core.Concise})
+	if density != 1 {
+		t.Errorf("concise density = %v, want 1", density)
+	}
+	if want := binomial(n, 2) + binomial(n, 3); math.Abs(est-want) > 1e-9*want {
+		t.Errorf("concise estimate = %v, want %v", est, want)
+	}
+
+	// Tight and diverse at the same d partition the pair space, so their
+	// densities sum to 1.
+	_, dTight := r.estimateAprioriCandidates(d, core.Constraint{K: 2, N: 4, Mode: core.Tight, D: 2})
+	_, dDiverse := r.estimateAprioriCandidates(d, core.Constraint{K: 2, N: 4, Mode: core.Diverse, D: 3})
+	if dTight < 0 || dTight > 1 || dDiverse < 0 || dDiverse > 1 {
+		t.Errorf("densities out of range: tight %v, diverse %v", dTight, dDiverse)
+	}
+	if math.Abs(dTight+dDiverse-1) > 1e-9 {
+		t.Errorf("tight(d<=2) + diverse(d>=3) densities = %v + %v, want 1 (they partition the pairs)", dTight, dDiverse)
+	}
+
+	// The estimate is monotone in k: adding a level adds volume.
+	e3, _ := r.estimateAprioriCandidates(d, core.Constraint{K: 3, N: 6, Mode: core.Tight, D: 2})
+	e4, _ := r.estimateAprioriCandidates(d, core.Constraint{K: 4, N: 8, Mode: core.Tight, D: 2})
+	if e4 < e3 {
+		t.Errorf("estimate not monotone in k: k=3 → %v, k=4 → %v", e3, e4)
+	}
+}
+
+func TestMeasureBFDirectAndExtrapolated(t *testing.T) {
+	direct := tinyRunner(1e9, 1e9)
+	d, err := direct.discoverer("basketball")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.Constraint{K: 3, N: 6, Mode: core.Concise}
+
+	ms, extrapolated, err := direct.measureBF(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extrapolated {
+		t.Error("generous cap must time directly, not extrapolate")
+	}
+	if ms < 1 {
+		t.Errorf("measured %v ms, want >= 1 (paper's rounding rule)", ms)
+	}
+
+	// A cap of one subset forces the rate-based extrapolation.
+	capped := tinyRunner(1, 1e9)
+	dc, err := capped.discoverer("basketball")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, extrapolated, err = capped.measureBF(dc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !extrapolated {
+		t.Error("cap of 1 subset must extrapolate")
+	}
+	if ms <= 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		t.Errorf("extrapolated %v ms, want finite positive", ms)
+	}
+}
+
+func TestMeasureAprioriDirectAndExtrapolated(t *testing.T) {
+	direct := tinyRunner(1e9, 1e9)
+	d, err := direct.discoverer("basketball")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.Constraint{K: 3, N: 6, Mode: core.Tight, D: 3}
+
+	ms, extrapolated, err := direct.measureApriori(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extrapolated {
+		t.Error("generous cap must time directly, not extrapolate")
+	}
+	if ms < 1 {
+		t.Errorf("measured %v ms, want >= 1", ms)
+	}
+
+	capped := tinyRunner(1e9, 1)
+	dc, err := capped.discoverer("basketball")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, extrapolated, err = capped.measureApriori(dc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !extrapolated {
+		t.Error("cap of 1 candidate must extrapolate")
+	}
+	if ms <= 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		t.Errorf("extrapolated %v ms, want finite positive", ms)
+	}
+}
+
+func TestTimeItRoundsUpToOneMillisecond(t *testing.T) {
+	r := tinyRunner(1e9, 1e9)
+	ms, err := r.timeIt(func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 1 {
+		t.Errorf("timeIt(no-op) = %v ms, want the paper's 1 ms floor", ms)
+	}
+	boom := errors.New("boom")
+	if _, err := r.timeIt(func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("timeIt must propagate the callback error, got %v", err)
+	}
+}

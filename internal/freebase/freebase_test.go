@@ -277,3 +277,41 @@ func TestSkewProducesEmptyAndMultiValuedCells(t *testing.T) {
 		t.Error("no FILM has a multi-valued Genres cell")
 	}
 }
+
+func TestTargetEntitiesScaleKnob(t *testing.T) {
+	// TargetEntities overrides Scale: the generated population lands near
+	// the requested entity count while the schema keeps its exact Table 2
+	// sizes — the knob changes scale, never shape.
+	const want = 25_000
+	g, err := freebase.Generate("music", freebase.GenOptions{
+		TargetEntities: want, Seed: 42, MinEntities: 400, MinEdges: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.NumEntities()
+	if got < want*7/10 || got > want*13/10 {
+		t.Fatalf("TargetEntities=%d generated %d entities, want within ±30%%", want, got)
+	}
+	if g.NumTypes() != 69 || g.NumRelTypes() != 176 {
+		t.Fatalf("schema drifted: %d types, %d rel types; want 69, 176 (Table 2)", g.NumTypes(), g.NumRelTypes())
+	}
+	// Edges scale with the same factor: music's paper edge/entity ratio is
+	// ~6.9, so the edge count must grow far past the MinEdges floor.
+	if g.NumEdges() < 2*want {
+		t.Fatalf("edge budget did not scale with TargetEntities: %d edges for %d entities", g.NumEdges(), got)
+	}
+
+	// A Scale value yielding the same factor produces the identical graph:
+	// the knob is sugar, not a second code path.
+	h, err := freebase.Generate("music", freebase.GenOptions{
+		Scale: float64(want) / 27_000_000, Seed: 42, MinEntities: 400, MinEdges: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEntities() != g.NumEntities() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("TargetEntities and equivalent Scale diverge: %d/%d entities, %d/%d edges",
+			g.NumEntities(), h.NumEntities(), g.NumEdges(), h.NumEdges())
+	}
+}

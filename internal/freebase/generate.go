@@ -16,6 +16,13 @@ type GenOptions struct {
 	// ~27K entities — large enough for meaningful score distributions,
 	// small enough for laptop benchmarks.
 	Scale float64
+	// TargetEntities, when positive, overrides Scale with the factor that
+	// yields approximately this many entities (edge budgets scale by the
+	// same factor, preserving the domain's density). The schema stays at
+	// the exact Table 2 sizes regardless — only the population grows — so
+	// one knob dials a schema-faithful graph from laptop benchmarks up to
+	// the ~10⁶-entity scale the parallel hot-path measurements need.
+	TargetEntities int
 	// Seed drives all randomness; the same (domain, options) always
 	// produces an identical graph. The domain name is mixed in so domains
 	// differ even under one seed.
@@ -65,6 +72,9 @@ func Generate(domain string, opts GenOptions) (*graph.EntityGraph, error) {
 		return nil, fmt.Errorf("freebase: unknown domain %q (have %v)", domain, Domains())
 	}
 	opts = opts.withDefaults()
+	if opts.TargetEntities > 0 {
+		opts.Scale = float64(opts.TargetEntities) / float64(spec.PaperVertices)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed ^ int64(hashString(domain))))
 
 	types, rels := expandSchema(spec, rng)

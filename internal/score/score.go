@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/par"
 )
 
 // KeyMeasure selects the scoring measure for key attributes (entity types).
@@ -59,7 +60,9 @@ func (m NonKeyMeasure) String() string {
 	}
 }
 
-// WalkOptions configures the random-walk key measure.
+// WalkOptions configures the random-walk key measure and, because it is
+// the options value every scoring entry point already threads through, the
+// parallelism of the scoring hot paths.
 type WalkOptions struct {
 	// Smoothing is the small transition probability added between every
 	// pair of entity types to guarantee convergence on disconnected schema
@@ -69,9 +72,20 @@ type WalkOptions struct {
 	Tolerance float64
 	// MaxIter caps power iteration.
 	MaxIter int
+	// Parallelism is the worker count for the scoring hot paths: Compute's
+	// per-type entropy/coverage fan-out and power iteration's blocked
+	// matrix-vector step (both the cold and the warm-started incremental
+	// path). Values <= 1 mean sequential. Results are bit-identical at
+	// every setting: each output slot is computed by exactly one worker
+	// with a per-slot floating-point accumulation order that does not
+	// depend on the worker count (see internal/par), and the convergence
+	// test reduces the parallel step's output on one goroutine in index
+	// order.
+	Parallelism int
 }
 
-// DefaultWalkOptions returns the paper's configuration.
+// DefaultWalkOptions returns the paper's configuration (sequential; set
+// Parallelism explicitly to fan out).
 func DefaultWalkOptions() WalkOptions {
 	return WalkOptions{Smoothing: 1e-5, Tolerance: 1e-12, MaxIter: 10000}
 }
@@ -94,19 +108,23 @@ type Set struct {
 // materializes per-tuple value sets, so Compute is the only phase that
 // touches the entity graph; discovery afterwards only needs the Set and the
 // schema graph.
+//
+// With opts.Parallelism > 1 the per-type work — coverage plus every
+// incident attribute's entropy, the dominant cost of the precomputation —
+// fans out over a worker pool. Each type's scores are computed by exactly
+// one worker with the same per-type code as the sequential path and
+// written to slots only that worker touches, so the resulting Set is
+// bit-identical to a sequential Compute.
 func Compute(g *graph.EntityGraph, opts WalkOptions) *Set {
 	s := g.Schema()
 	set := &Set{schema: s}
 
-	set.keyCov = make([]float64, g.NumTypes())
-	for t := 0; t < g.NumTypes(); t++ {
+	n := g.NumTypes()
+	set.keyCov = make([]float64, n)
+	set.nonKeyCov = make([][]float64, n)
+	set.nonKeyEnt = make([][]float64, n)
+	par.ForEach(opts.Parallelism, n, func(t int) {
 		set.keyCov[t] = float64(g.TypeCoverage(graph.TypeID(t)))
-	}
-	set.keyWalk = StationaryDistribution(s, opts)
-
-	set.nonKeyCov = make([][]float64, g.NumTypes())
-	set.nonKeyEnt = make([][]float64, g.NumTypes())
-	for t := 0; t < g.NumTypes(); t++ {
 		incs := s.Incident(graph.TypeID(t))
 		cov := make([]float64, len(incs))
 		ent := make([]float64, len(incs))
@@ -116,7 +134,8 @@ func Compute(g *graph.EntityGraph, opts WalkOptions) *Set {
 		}
 		set.nonKeyCov[t] = cov
 		set.nonKeyEnt[t] = ent
-	}
+	})
+	set.keyWalk = StationaryDistribution(s, opts)
 	return set
 }
 
@@ -233,6 +252,11 @@ func (s *Set) RankNonKeys(m NonKeyMeasure, t graph.TypeID) []RankedIncidence {
 	return rs
 }
 
+// walkParallelThreshold is the minimum type count before power iteration
+// fans its row blocks out over workers; below it the per-iteration pool
+// coordination costs more than the whole matrix-vector step.
+const walkParallelThreshold = 256
+
 // StationaryDistribution computes the random-walk scores Swalk over the
 // undirected weighted schema view: π = πM where Mij = wij / Σk wik, with
 // opts.Smoothing added between every (ordered) pair of distinct types and
@@ -254,6 +278,14 @@ func StationaryDistribution(s *graph.Schema, opts WalkOptions) []float64 {
 // perturbation of the edge weights (one update batch on a live graph) the
 // old π is already near the new fixed point and convergence takes a
 // handful of iterations instead of hundreds. prev is not modified.
+//
+// The iteration step is formulated as a gather (next[j] pulls from j's
+// neighbors in adjacency order) rather than a scatter, so each row of
+// next is a pure function of pi with a fixed accumulation order. With
+// opts.Parallelism > 1 rows are partitioned into blocks executed by a
+// worker pool; the global smoothing mass and the convergence delta are
+// reduced sequentially in index order, making the result bit-identical
+// to the sequential iteration at any worker count.
 func StationaryDistributionWarm(s *graph.Schema, opts WalkOptions, prev []float64) []float64 {
 	n := s.NumTypes()
 	if n == 0 {
@@ -299,40 +331,58 @@ func StationaryDistributionWarm(s *graph.Schema, opts WalkOptions, prev []float6
 			pi[i] = 1 / float64(n)
 		}
 	}
+	// Row blocks for the parallel matrix-vector step. Each row is computed
+	// independently with a fixed per-row accumulation order, so the block
+	// plan affects load balance only, never the floating-point result —
+	// which is also why dropping to sequential below the threshold changes
+	// nothing but speed: per iteration the step costs ~n·deg flops, and
+	// under a few hundred rows that is microseconds of math, less than the
+	// worker pool's per-iteration spawn cost. Shipped domains (K ≤ 91)
+	// therefore run sequentially here; the blocked path engages for large
+	// schemas, where it pays.
+	workers := par.Workers(opts.Parallelism)
+	spans := []par.Span{{Lo: 0, Hi: n}}
+	if workers > 1 && n >= walkParallelThreshold {
+		spans = par.Spans(n, workers*4)
+	} else {
+		workers = 1
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		// next = pi · M. The smoothing term contributes
-		// Σ_t pi[t]·σ/rowSum[t] to every j≠t; accumulate the global sum and
-		// subtract each row's own contribution.
-		var smoothTotal float64
-		for j := range next {
-			next[j] = 0
-		}
+		// next = pi · M, gathered per row. Sequential pre-pass: the global
+		// smoothing mass Σ_t pi[t]·σ/rowSum[t] every row receives (each row
+		// subtracts its own contribution — no self smoothing), plus the
+		// uniform share isolated vertices with zero smoothing distribute to
+		// keep the chain stochastic.
+		var smoothTotal, isoShare float64
 		for t := 0; t < n; t++ {
 			if rowSum[t] == 0 {
-				// Isolated vertex with zero smoothing: distribute uniformly
-				// to keep the chain stochastic.
-				share := pi[t] / float64(n)
-				for j := 0; j < n; j++ {
-					next[j] += share
+				isoShare += pi[t] / float64(n)
+			} else {
+				smoothTotal += pi[t] * opts.Smoothing / rowSum[t]
+			}
+		}
+		base := smoothTotal + isoShare
+		par.ForEach(workers, len(spans), func(si int) {
+			for j := spans[si].Lo; j < spans[si].Hi; j++ {
+				var sum float64
+				neighbors, weights := s.Neighbors(graph.TypeID(j))
+				for i, u := range neighbors {
+					if rowSum[u] > 0 {
+						sum += pi[u] * weights[i] / rowSum[u]
+					}
 				}
-				continue
+				sum += base
+				if rowSum[j] > 0 {
+					sum -= pi[j] * opts.Smoothing / rowSum[j] // no self smoothing
+				}
+				next[j] = 0.5*sum + 0.5*pi[j] // lazy step
 			}
-			contrib := pi[t] * opts.Smoothing / rowSum[t]
-			smoothTotal += contrib
-			next[t] -= contrib // no self smoothing
-			neighbors, weights := s.Neighbors(graph.TypeID(t))
-			for i, u := range neighbors {
-				next[u] += pi[t] * weights[i] / rowSum[t]
-			}
-		}
-		if smoothTotal != 0 {
-			for j := range next {
-				next[j] += smoothTotal
-			}
-		}
+		})
+		// Convergence delta reduced sequentially in index order, so the
+		// iteration count — and therefore the result — is independent of
+		// the worker count.
 		var delta float64
 		for j := range next {
-			next[j] = 0.5*next[j] + 0.5*pi[j] // lazy step
 			delta += math.Abs(next[j] - pi[j])
 		}
 		pi, next = next, pi
@@ -372,11 +422,27 @@ func Entropy(g *graph.EntityGraph, t graph.TypeID, inc graph.Incidence) float64 
 	if nonEmpty == 0 {
 		return 0
 	}
+	// Deterministic accumulation: the entropy depends only on the multiset
+	// of group sizes, so fold the histogram into size → multiplicity and
+	// sum over sizes in increasing order. Iterating the groups map directly
+	// would let Go's randomized map order pick the floating-point summation
+	// order, making repeated runs differ in the last bits — enough to flip
+	// score ties and break the bit-identical guarantee the parallel paths
+	// (and the differential tests) rely on.
+	sizes := make(map[int]int)
+	for _, nj := range groups {
+		sizes[nj]++
+	}
+	distinct := make([]int, 0, len(sizes))
+	for c := range sizes {
+		distinct = append(distinct, c)
+	}
+	sort.Ints(distinct)
 	var h float64
 	total := float64(nonEmpty)
-	for _, nj := range groups {
-		p := float64(nj) / total
-		h += p * math.Log10(1/p)
+	for _, c := range distinct {
+		p := float64(c) / total
+		h += float64(sizes[c]) * p * math.Log10(1/p)
 	}
 	return h
 }

@@ -38,6 +38,20 @@ import (
 // registered with Add, live (mutable) graphs registered with AddLive.
 // All methods are safe for concurrent use.
 type Registry struct {
+	// Parallelism is the worker count handed to the scoring
+	// precomputation (score.Compute) and to Discoverer construction and
+	// search (core.Options.Parallelism) of every graph registered after it
+	// is set. Values <= 1 mean sequential; results are identical either
+	// way (the parallel paths are bit-identical by construction). Set it
+	// before registering graphs: each registration and view publication
+	// captures the current value, so later writes affect later
+	// registrations only.
+	//
+	// Live graphs' incremental refreshes are driven by the WalkOptions
+	// their dynamic.Live was built with; set Parallelism there too (see
+	// cmd/previewd).
+	Parallelism int
+
 	mu     sync.RWMutex
 	graphs map[string]*Graph
 
@@ -61,13 +75,17 @@ func (r *Registry) Add(name string, g *graph.EntityGraph) error {
 		return fmt.Errorf("service: nil graph %q", name)
 	}
 	gr := &Graph{name: name, reg: r}
+	workers := r.Parallelism // captured: compute may run on a request goroutine
 	v := &view{
 		stats: g.Stats(),
 		g:     g,
+		par:   workers,
 		discs: make(map[measureKey]*discSlot),
 		compute: func() *score.Set {
 			r.scoreComputes.Add(1)
-			return score.Compute(g, score.DefaultWalkOptions())
+			opts := score.DefaultWalkOptions()
+			opts.Parallelism = workers
+			return score.Compute(g, opts)
 		},
 	}
 	gr.cur.Store(v)
@@ -156,6 +174,11 @@ type view struct {
 	stats   graph.Stats
 	g       *graph.EntityGraph
 
+	// par is the worker count for this view's score computation,
+	// Discoverer construction and searches (Registry.Parallelism at view
+	// creation).
+	par int
+
 	// scores is set eagerly for mutable views (the incremental refresh
 	// already produced it) and computed on first use through scoreOnce for
 	// static views.
@@ -192,7 +215,7 @@ func (v *view) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Dis
 	}
 	v.mu.Unlock()
 	slot.once.Do(func() {
-		slot.disc = core.New(v.Scores(), core.Options{Key: km, NonKey: nm})
+		slot.disc = core.New(v.Scores(), core.Options{Key: km, NonKey: nm, Parallelism: v.par})
 	})
 	return slot.disc
 }
@@ -228,6 +251,7 @@ func (gr *Graph) publish(snap *dynamic.Snapshot) *view {
 		mutable: true,
 		stats:   snap.Stats,
 		g:       snap.Frozen,
+		par:     gr.reg.Parallelism,
 		scores:  snap.Scores,
 		discs:   make(map[measureKey]*discSlot),
 	}
