@@ -26,6 +26,14 @@
 //
 // and -checkpoint-dir persists each mutated graph back to a snapshot file
 // every -checkpoint-interval (skipping epochs already on disk).
+//
+// Add -wal-dir and writes become durable: every batch is appended to a
+// per-graph write-ahead log (and fsynced) before its epoch is
+// acknowledged, and startup recovers each graph exactly — newest valid
+// checkpoint, then the WAL tail, resuming at the recovered epoch. With
+// both flags set, checkpoints are epoch-named snapshots committed
+// through a current-manifest, and each checkpoint truncates the WAL
+// segments it makes redundant, so the log stays bounded.
 package main
 
 import (
@@ -58,8 +66,9 @@ func main() {
 	entities := flag.Int("entities", 0, "with -domain: target entity count for synthetic generation, overriding -scale (0 = use -scale)")
 	warm := flag.Bool("warm", true, "precompute scores for every graph before serving (first requests would otherwise pay it, possibly past the write timeout)")
 	mutable := flag.Bool("mutable", false, "serve every graph as mutable: POST /v1/graphs/{name}/edges and .../triples apply live updates with epoch-versioned snapshots")
-	ckptDir := flag.String("checkpoint-dir", "", "with -mutable: directory for periodic snapshot persistence of mutated graphs (one <name>.egpt per graph)")
+	ckptDir := flag.String("checkpoint-dir", "", "with -mutable: directory for periodic snapshot persistence of mutated graphs (one <name>.egpt per graph; epoch-named snapshots plus a <name>.current manifest when -wal-dir is also set)")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint mutated graphs to -checkpoint-dir")
+	walDir := flag.String("wal-dir", "", "with -mutable: directory for per-graph write-ahead logs; every batch is logged and fsynced before its epoch is acknowledged, and startup replays checkpoint + WAL tail to resume at the exact pre-crash epoch")
 	var loads []func() (string, *previewtables.EntityGraph, error) // deferred so -scale applies regardless of flag order
 	flag.Func("graph", "register a graph: name=path (repeatable; format by extension)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -98,16 +107,35 @@ func main() {
 	if *ckptDir != "" && !*mutable {
 		log.Fatal("-checkpoint-dir requires -mutable (static graphs never change)")
 	}
+	if *walDir != "" && !*mutable {
+		log.Fatal("-wal-dir requires -mutable (static graphs never change)")
+	}
 	if *ckptDir != "" && *ckptEvery <= 0 {
 		log.Fatalf("-checkpoint-interval must be positive, got %v", *ckptEvery)
 	}
+	wals := map[string]*storage.WAL{}
 	for _, load := range loads {
 		name, g, err := load()
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("graph %q: %s", name, g.Stats())
-		if *mutable {
+		switch {
+		case *mutable && *walDir != "":
+			// Durable: recover checkpoint + WAL tail, then log every new
+			// batch before acknowledging it.
+			live, wal, err := service.RecoverLive(g, name, *ckptDir, filepath.Join(*walDir, name), walkOpts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if epoch := live.Snapshot().Epoch; epoch > 0 {
+				log.Printf("graph %q: recovered to epoch %d (%s)", name, epoch, live.Snapshot().Stats)
+			}
+			if err := reg.AddLive(name, live, service.WithDurability(wal)); err != nil {
+				log.Fatal(err)
+			}
+			wals[name] = wal
+		case *mutable:
 			dg, err := dynamic.FromEntityGraph(g)
 			if err != nil {
 				log.Fatal(err)
@@ -116,12 +144,13 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			err = reg.AddLive(name, live)
-			if err != nil {
+			if err := reg.AddLive(name, live); err != nil {
 				log.Fatal(err)
 			}
-		} else if err := reg.Add(name, g); err != nil {
-			log.Fatal(err)
+		default:
+			if err := reg.Add(name, g); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	if *warm {
@@ -139,7 +168,7 @@ func main() {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		go checkpointLoop(reg, *ckptDir, *ckptEvery)
+		go checkpointLoop(reg, *ckptDir, *ckptEvery, wals)
 	}
 
 	srv := &http.Server{
@@ -158,8 +187,10 @@ func main() {
 
 // checkpointLoop persists every mutable graph's latest snapshot to dir on
 // a fixed cadence. The Checkpointer skips epochs already on disk, so a
-// quiet graph costs one atomic-counter read per tick.
-func checkpointLoop(reg *service.Registry, dir string, every time.Duration) {
+// quiet graph costs one atomic-counter read per tick. Graphs with a WAL
+// get durable (epoch-named, manifest-committed) checkpoints that
+// truncate the replayed log segments after each successful save.
+func checkpointLoop(reg *service.Registry, dir string, every time.Duration, wals map[string]*storage.WAL) {
 	// Checkpointers materialize lazily per tick, so a graph registered
 	// after the loop starts is picked up instead of dereferenced as nil.
 	ckpts := map[string]*storage.Checkpointer{}
@@ -171,7 +202,11 @@ func checkpointLoop(reg *service.Registry, dir string, every time.Duration) {
 			}
 			ck := ckpts[name]
 			if ck == nil {
-				ck = storage.NewCheckpointer(filepath.Join(dir, name+".egpt"))
+				if wal := wals[name]; wal != nil {
+					ck = storage.NewDurableCheckpointer(dir, name, wal)
+				} else {
+					ck = storage.NewCheckpointer(filepath.Join(dir, name+".egpt"))
+				}
 				ckpts[name] = ck
 			}
 			snap := gr.Live().Snapshot()

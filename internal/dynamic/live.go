@@ -16,6 +16,7 @@
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,20 @@ import (
 	"github.com/uta-db/previewtables/internal/graph"
 	"github.com/uta-db/previewtables/internal/score"
 )
+
+// ErrWedged is returned by writes to a Live whose durability hook has
+// failed. The in-memory graph and the log may then disagree, so no
+// further mutation is allowed: the last published snapshot keeps
+// serving reads, and a restart recovers exactly the durable state.
+var ErrWedged = errors.New("dynamic: live graph wedged by an earlier durability failure; restart to recover")
+
+// A DurabilityHook persists one applied batch before its epoch is
+// published. It receives the epoch the batch will create, a
+// caller-defined kind tag, and the batch's replayable payload; returning
+// an error aborts publication and wedges the Live (see ErrWedged). The
+// hook runs under the writer lock, so calls are serialized and epochs
+// arrive contiguously.
+type DurabilityHook func(epoch uint64, kind byte, payload []byte) error
 
 // Snapshot is one published epoch of a live graph: the frozen entity
 // graph, its score set, and size statistics, all taken at the same
@@ -53,8 +68,10 @@ type Snapshot struct {
 type Live struct {
 	opts score.WalkOptions
 
-	mu sync.Mutex // serializes mutation + publication
-	g  *Graph
+	mu     sync.Mutex // serializes mutation + publication
+	g      *Graph
+	hook   DurabilityHook // nil = volatile
+	wedged error          // sticky durability failure; see ErrWedged
 
 	snap      atomic.Pointer[Snapshot]
 	refreshes atomic.Int64
@@ -64,11 +81,30 @@ type Live struct {
 // The caller must not touch g directly afterwards — all further mutation
 // goes through Apply.
 func NewLive(g *Graph, opts score.WalkOptions) (*Live, error) {
+	return NewLiveAt(g, opts, 0)
+}
+
+// NewLiveAt publishes g's current state at the given epoch. Recovery
+// uses it to resume exactly where the durable state ends: g is the
+// checkpoint graph with the WAL tail already replayed, and epoch is the
+// last recovered epoch, so the next batch publishes epoch+1 and the
+// epoch sequence has no seam across the restart.
+func NewLiveAt(g *Graph, opts score.WalkOptions, epoch uint64) (*Live, error) {
 	l := &Live{opts: opts, g: g}
-	if err := l.publishLocked(0); err != nil {
+	if err := l.publishLocked(epoch); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// SetDurability installs the hook that persists every batch before its
+// epoch is published. Install it before the first write: batches applied
+// earlier were not logged and will not survive a crash. Passing nil
+// removes the hook.
+func (l *Live) SetDurability(hook DurabilityHook) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hook = hook
 }
 
 // Snapshot returns the current published snapshot. It never blocks, not
@@ -90,13 +126,58 @@ func (l *Live) Refreshes() int64 { return l.refreshes.Load() }
 // restart. The HTTP write routes uphold the contract by construction;
 // new callers must too. Concurrent Apply calls serialize; readers are
 // never blocked.
+//
+// Apply is the volatile write path: it carries no replayable payload, so
+// it refuses to run on a Live with a durability hook installed — a batch
+// applied but never logged would silently vanish on crash. Durable
+// callers use ApplyBatch.
 func (l *Live) Apply(mutate func(*Graph) error) (*Snapshot, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.hook != nil {
+		return nil, errors.New("dynamic: Apply on a durable live graph; use ApplyBatch with a replayable payload")
+	}
+	return l.applyLocked(0, nil, mutate)
+}
+
+// ApplyBatch is Apply for durable live graphs: kind and payload are the
+// batch's replayable form, handed to the durability hook (with the epoch
+// the batch creates) after the mutation succeeds and before the epoch is
+// published. Ordering is the durability contract: when ApplyBatch
+// returns, an acknowledged batch is on stable storage; when the hook
+// fails, the epoch is never published — readers keep the previous
+// snapshot — and the Live wedges (ErrWedged) because the in-memory graph
+// already contains a mutation the log does not.
+//
+// Without a hook installed, ApplyBatch behaves exactly like Apply.
+func (l *Live) ApplyBatch(kind byte, payload []byte, mutate func(*Graph) error) (*Snapshot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.applyLocked(kind, payload, mutate)
+}
+
+func (l *Live) applyLocked(kind byte, payload []byte, mutate func(*Graph) error) (*Snapshot, error) {
+	if l.wedged != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWedged, l.wedged)
+	}
 	if err := mutate(l.g); err != nil {
 		return nil, err
 	}
-	if err := l.publishLocked(l.snap.Load().Epoch + 1); err != nil {
+	epoch := l.snap.Load().Epoch + 1
+	if l.hook != nil {
+		if err := l.hook(epoch, kind, payload); err != nil {
+			l.wedged = err
+			return nil, fmt.Errorf("dynamic: logging batch for epoch %d: %w", epoch, err)
+		}
+	}
+	if err := l.publishLocked(epoch); err != nil {
+		if l.hook != nil {
+			// The batch is already in the log; failing to publish it leaves
+			// log, memory and published epoch mutually inconsistent (and the
+			// logged batch would materialize on restart despite this error
+			// response) — same disagreement as a hook failure, same remedy.
+			l.wedged = err
+		}
 		return nil, err
 	}
 	l.refreshes.Add(1)

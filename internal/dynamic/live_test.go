@@ -264,3 +264,149 @@ func TestWarmStartMatchesColdStart(t *testing.T) {
 		}
 	}
 }
+
+// addHancockGenre is the canonical one-edge test batch.
+func addHancockGenre(g *dynamic.Graph) error {
+	film, _ := g.TypeByName("FILM")
+	genre, _ := g.TypeByName("FILM GENRE")
+	rel, err := g.RelType("Genres", film, genre)
+	if err != nil {
+		return err
+	}
+	return g.AddEdge(g.Entity("Hancock", film), g.Entity("Action Film", genre), rel)
+}
+
+// TestLiveDurabilityHookOrdering pins the write-ahead contract: the hook
+// sees the batch — with the epoch it will create — strictly before that
+// epoch is published, and a batch that fails validation never reaches
+// the hook.
+func TestLiveDurabilityHookOrdering(t *testing.T) {
+	live := newFig1Live(t)
+	type logged struct {
+		epoch          uint64
+		kind           byte
+		payload        string
+		publishedEpoch uint64 // epoch visible to readers at hook time
+	}
+	var log []logged
+	live.SetDurability(func(epoch uint64, kind byte, payload []byte) error {
+		log = append(log, logged{epoch, kind, string(payload), live.Snapshot().Epoch})
+		return nil
+	})
+
+	snap, err := live.ApplyBatch(7, []byte("batch-1"), addHancockGenre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", snap.Epoch)
+	}
+	if len(log) != 1 || log[0].epoch != 1 || log[0].kind != 7 || log[0].payload != "batch-1" {
+		t.Fatalf("hook saw %+v", log)
+	}
+	if log[0].publishedEpoch != 0 {
+		t.Fatalf("epoch %d was published before the hook ran", log[0].publishedEpoch)
+	}
+
+	boom := errors.New("validation failed")
+	if _, err := live.ApplyBatch(7, []byte("bad"), func(*dynamic.Graph) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("failed batch error = %v", err)
+	}
+	if len(log) != 1 {
+		t.Fatalf("failed batch reached the hook: %+v", log)
+	}
+}
+
+// TestLiveDurabilityFailureWedges: a hook failure publishes nothing and
+// poisons the facade — memory and log may now disagree, so every later
+// write fails with ErrWedged while reads keep the last published epoch.
+func TestLiveDurabilityFailureWedges(t *testing.T) {
+	live := newFig1Live(t)
+	diskFull := errors.New("disk full")
+	calls := 0
+	live.SetDurability(func(uint64, byte, []byte) error { calls++; return diskFull })
+	before := live.Snapshot()
+
+	if _, err := live.ApplyBatch(1, []byte("b"), addHancockGenre); !errors.Is(err, diskFull) {
+		t.Fatalf("ApplyBatch error = %v, want the hook's", err)
+	}
+	if live.Snapshot() != before || live.Refreshes() != 0 {
+		t.Fatal("failed log write published an epoch")
+	}
+	if _, err := live.ApplyBatch(1, []byte("b2"), addHancockGenre); !errors.Is(err, dynamic.ErrWedged) {
+		t.Fatalf("post-failure ApplyBatch error = %v, want ErrWedged", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times after wedging, want 1", calls)
+	}
+	if live.Snapshot() != before {
+		t.Fatal("wedged graph still publishing")
+	}
+}
+
+// TestLiveApplyRefusedWhenDurable: the payload-less Apply cannot be
+// replayed, so a durable facade rejects it outright.
+func TestLiveApplyRefusedWhenDurable(t *testing.T) {
+	live := newFig1Live(t)
+	live.SetDurability(func(uint64, byte, []byte) error { return nil })
+	if _, err := live.Apply(addHancockGenre); err == nil {
+		t.Fatal("volatile Apply accepted on a durable live graph")
+	}
+	live.SetDurability(nil)
+	if _, err := live.Apply(addHancockGenre); err != nil {
+		t.Fatalf("Apply after removing the hook: %v", err)
+	}
+}
+
+// TestNewLiveAtResumesEpoch: recovery republishes at the recovered
+// epoch, and the next batch continues the sequence seamlessly.
+func TestNewLiveAtResumesEpoch(t *testing.T) {
+	live, err := dynamic.NewLiveAt(buildFig1Dynamic(t), score.DefaultWalkOptions(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := live.Snapshot().Epoch; got != 42 {
+		t.Fatalf("resumed epoch = %d, want 42", got)
+	}
+	snap, err := live.ApplyBatch(1, []byte("b"), addHancockGenre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 43 {
+		t.Fatalf("epoch after resumed batch = %d, want 43", snap.Epoch)
+	}
+}
+
+// TestLivePublishFailureAfterLogWedges: once the hook has appended the
+// batch, a publish failure leaves log and memory disagreeing with the
+// served epoch — the facade must wedge exactly as it does for a hook
+// failure, because the logged batch will materialize on restart despite
+// the error response.
+func TestLivePublishFailureAfterLogWedges(t *testing.T) {
+	live := newFig1Live(t)
+	logged := 0
+	live.SetDurability(func(uint64, byte, []byte) error { logged++; return nil })
+	before := live.Snapshot()
+
+	// A typeless entity breaks Freeze, so publication fails after the
+	// (infallible here) mutation and the successful log append.
+	_, err := live.ApplyBatch(1, []byte("b"), func(g *dynamic.Graph) error {
+		g.Entity("orphan with no type")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("publication of a typeless entity succeeded")
+	}
+	if logged != 1 {
+		t.Fatalf("hook ran %d times, want 1", logged)
+	}
+	if live.Snapshot() != before {
+		t.Fatal("failed publication swapped the snapshot")
+	}
+	if _, err := live.ApplyBatch(1, []byte("b2"), addHancockGenre); !errors.Is(err, dynamic.ErrWedged) {
+		t.Fatalf("post-publish-failure write error = %v, want ErrWedged", err)
+	}
+	if logged != 1 {
+		t.Fatalf("wedged facade still logging: %d", logged)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"github.com/uta-db/previewtables/internal/dynamic"
 	"github.com/uta-db/previewtables/internal/graph"
 	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/storage"
 )
 
 // Registry holds the named graphs a server exposes: immutable graphs
@@ -92,12 +93,36 @@ func (r *Registry) Add(name string, g *graph.EntityGraph) error {
 	return r.register(name, gr)
 }
 
+// A LiveOption configures one live graph registration.
+type LiveOption func(*liveConfig)
+
+type liveConfig struct {
+	wal *storage.WAL
+}
+
+// WithDurability makes the live graph durable: every batch the write
+// endpoints apply is appended to w — and synced — before its epoch is
+// published, so an acknowledged write survives a crash. Recovery is
+// RecoverLive's job; this option only installs the logging hook.
+func WithDurability(w *storage.WAL) LiveOption {
+	return func(c *liveConfig) { c.wal = w }
+}
+
 // AddLive registers a mutable graph under name: preview requests read
 // epoch-versioned snapshots, and the write endpoints mutate it through
-// live.Apply. Naming rules match Add.
-func (r *Registry) AddLive(name string, live *dynamic.Live) error {
+// the live facade. Naming rules match Add.
+func (r *Registry) AddLive(name string, live *dynamic.Live, opts ...LiveOption) error {
 	if live == nil {
 		return fmt.Errorf("service: nil live graph %q", name)
+	}
+	var cfg liveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.wal != nil {
+		live.SetDurability(func(epoch uint64, kind byte, payload []byte) error {
+			return cfg.wal.Append(epoch, kind, payload)
+		})
 	}
 	gr := &Graph{name: name, reg: r, live: live}
 	gr.publish(live.Snapshot())

@@ -12,6 +12,12 @@ package service
 // incremental score refresh. Failed batches mutate nothing and publish no
 // epoch. Limits: Server.MaxBodyBytes on the request body and
 // Server.MaxBatchEdges on the batch's edge count, both answered with 413.
+//
+// On a durable graph (Registry.AddLive with WithDurability) each batch
+// is written to the WAL before its epoch is published; a failed log
+// write answers 500 with no epoch published, and the graph stops
+// accepting writes (dynamic.ErrWedged, also 500) until a restart
+// re-syncs memory with the log.
 
 import (
 	"bytes"
@@ -108,7 +114,10 @@ func (s *Server) finishMutation(w http.ResponseWriter, gr *Graph, snap *dynamic.
 	})
 }
 
-// writeMutationError maps an Apply failure onto an HTTP status.
+// writeMutationError maps an apply failure onto an HTTP status: batches
+// naming unknown things are the client's 422; everything else — and in
+// particular a durability (WAL) failure or a wedged graph — is the
+// server's 500.
 func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
 	var re *resolveError
 	if errors.As(err, &re) {
@@ -154,7 +163,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, gr *Graph) 
 			return
 		}
 	}
-	snap, err := gr.Live().Apply(func(g *dynamic.Graph) error {
+	snap, err := gr.Live().ApplyBatch(batchKindEdges, body, func(g *dynamic.Graph) error {
 		return applyEdgeBatch(g, req.Edges)
 	})
 	if err != nil {
@@ -324,7 +333,7 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request, gr *Graph
 			fmt.Errorf("batch of %d edges exceeds limit %d; split it", probe.edges, s.MaxBatchEdges))
 		return
 	}
-	snap, err := gr.Live().Apply(func(g *dynamic.Graph) error {
+	snap, err := gr.Live().ApplyBatch(batchKindTriples, body, func(g *dynamic.Graph) error {
 		return triple.Decode(bytes.NewReader(body), liveSink{g})
 	})
 	if err != nil {

@@ -457,3 +457,54 @@ func TestConcurrentWritesAndPreviews(t *testing.T) {
 		t.Fatalf("final preview score = %v, want %v (stale snapshot served?)", final.Preview.Score, want.Score)
 	}
 }
+
+// TestWriteRouteMethodDiscipline is direct coverage of the write-path
+// 405 surface, until now only exercised incidentally: every non-POST
+// method on the write routes is refused with Allow: POST, POST on the
+// read routes is refused with Allow: GET, HEAD, and a write to a
+// read-only graph is 405 with a deliberately empty Allow (the route
+// supports no method at all; see requireMutable).
+func TestWriteRouteMethodDiscipline(t *testing.T) {
+	_, _, _, mutTS := newMutableServer(t)
+	_, staticTS := newTestServer(t)
+
+	do := func(method, url, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	for _, route := range []string{"edges", "triples"} {
+		for _, method := range []string{http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+			resp := do(method, mutTS.URL+"/v1/graphs/fig1/"+route, "")
+			if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "POST" {
+				t.Errorf("%s /%s on mutable graph: status %d allow %q, want 405 / POST",
+					method, route, resp.StatusCode, resp.Header.Get("Allow"))
+			}
+		}
+	}
+	for _, route := range []string{"stats", "preview", "render"} {
+		resp := do(http.MethodPost, mutTS.URL+"/v1/graphs/fig1/"+route, "{}")
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, HEAD" {
+			t.Errorf("POST /%s: status %d allow %q, want 405 / GET, HEAD",
+				route, resp.StatusCode, resp.Header.Get("Allow"))
+		}
+	}
+	for _, route := range []string{"edges", "triples"} {
+		resp := do(http.MethodPost, staticTS.URL+"/v1/graphs/fig1/"+route, "{}")
+		allow, present := resp.Header["Allow"]
+		if resp.StatusCode != http.StatusMethodNotAllowed || !present || len(allow) != 1 || allow[0] != "" {
+			t.Errorf("POST /%s on static graph: status %d allow %v, want 405 with explicitly empty Allow",
+				route, resp.StatusCode, allow)
+		}
+	}
+}

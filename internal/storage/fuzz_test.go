@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/uta-db/previewtables/internal/fig1"
@@ -57,6 +59,62 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		if g.Stats() != g2.Stats() {
 			t.Fatalf("round trip changed stats: %v vs %v", g.Stats(), g2.Stats())
+		}
+	})
+}
+
+// FuzzReplayWAL is the WAL decoder's robustness contract: for an
+// arbitrary segment file, ReplayWAL must never panic, every failure must
+// classify as ErrCorrupt (a local file never produces transport errors),
+// accepted records must satisfy the contiguity invariant, and the decode
+// must be deterministic — replaying the same bytes twice yields the same
+// prefix, so recovery cannot diverge between the pre-restart scan and
+// OpenWAL's trim.
+func FuzzReplayWAL(f *testing.F) {
+	recordDir := f.TempDir()
+	w, err := storage.OpenWAL(recordDir, storage.WALOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for e := uint64(1); e <= 4; e++ {
+		if err := w.Append(e, byte(e), bytes.Repeat([]byte{byte(e)}, int(e)*7)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	w.Close()
+	segs, err := filepath.Glob(filepath.Join(recordDir, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		f.Fatalf("want one seed segment: %v (%v)", segs, err)
+	}
+	valid, err := os.ReadFile(segs[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("EGWL"))
+	f.Add(valid[:len(valid)/2]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "00000000000000000001.wal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := storage.ReplayWAL(dir)
+		if err != nil && !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("unclassified replay error: %v", err)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Epoch != recs[i-1].Epoch+1 {
+				t.Fatalf("replay accepted an epoch gap: %d after %d", recs[i].Epoch, recs[i-1].Epoch)
+			}
+		}
+		again, err2 := storage.ReplayWAL(dir)
+		if (err == nil) != (err2 == nil) || len(again) != len(recs) {
+			t.Fatalf("replay not deterministic: %d/%v vs %d/%v", len(recs), err, len(again), err2)
 		}
 	})
 }

@@ -22,7 +22,11 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 
 	"github.com/uta-db/previewtables/internal/graph"
@@ -327,6 +331,8 @@ func Read(r io.Reader) (*graph.EntityGraph, error) {
 }
 
 // SaveFile writes a snapshot to path, atomically via a temp file rename.
+// The data is fsynced before the rename, so the path never names a
+// snapshot whose bytes could still be lost to a power failure.
 func SaveFile(path string, g *graph.EntityGraph) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -338,11 +344,30 @@ func SaveFile(path string, g *graph.EntityGraph) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// syncDir fsyncs a directory, making the renames, creates and unlinks
+// inside it durable against power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile reads a snapshot from path.
@@ -355,42 +380,183 @@ func LoadFile(path string) (*graph.EntityGraph, error) {
 	return Read(f)
 }
 
-// Checkpointer persists successive epochs of a mutating graph to one
-// snapshot file. Save is epoch-aware: re-saving an epoch that is already
-// on disk is a no-op, so a periodic checkpoint loop costs nothing while
-// the graph is quiet. Writes go through SaveFile's atomic temp-file
-// rename, so a crash mid-checkpoint leaves the previous snapshot intact.
-// Safe for concurrent use.
+// Checkpointer persists successive epochs of a mutating graph. Save is
+// epoch-aware: re-saving an epoch that is already on disk is a no-op, so
+// a periodic checkpoint loop costs nothing while the graph is quiet.
+// Writes go through SaveFile's atomic temp-file rename, so a crash
+// mid-checkpoint leaves the previous snapshot intact. Safe for
+// concurrent use.
+//
+// Two modes share the type. NewCheckpointer overwrites one fixed file
+// and records nothing about epochs on disk — fine for warm-restart
+// caches. NewDurableCheckpointer participates in crash recovery: each
+// checkpoint is an epoch-named snapshot (`<name>-<epoch>.egpt`) made
+// current by atomically rewriting a `<name>.current` manifest, so
+// recovery always knows the exact epoch the loaded snapshot represents
+// no matter where a crash fell; after the manifest swap, superseded
+// snapshots are deleted and the paired WAL is truncated through the
+// checkpointed epoch.
 type Checkpointer struct {
-	path string
+	path string // single-file mode; "" in durable mode
+
+	dir, name string // durable mode
+	wal       *WAL   // optional: truncated after each durable save
 
 	mu    sync.Mutex
 	last  uint64
 	saved bool
 }
 
-// NewCheckpointer returns a checkpointer writing to path. Nothing is
-// saved yet — the first Save call writes unconditionally.
+// NewCheckpointer returns a checkpointer overwriting one snapshot file.
+// Nothing is saved yet — the first Save call writes unconditionally.
 func NewCheckpointer(path string) *Checkpointer {
 	return &Checkpointer{path: path}
 }
 
-// Path returns the snapshot file path.
-func (c *Checkpointer) Path() string { return c.path }
+// NewDurableCheckpointer returns a checkpointer writing epoch-named
+// snapshots plus a current-manifest for name under dir. wal, when
+// non-nil, is truncated through each checkpointed epoch after the
+// manifest swap — the WAL records a checkpoint covers are the ones it
+// makes redundant. Load the result back with LoadLatestCheckpoint.
+func NewDurableCheckpointer(dir, name string, wal *WAL) *Checkpointer {
+	return &Checkpointer{dir: dir, name: name, wal: wal}
+}
 
-// Save writes g to the checkpoint file unless epoch is already the one on
-// disk; it reports whether a write happened. Concurrent calls serialize,
-// and a failed write stays retryable (the recorded epoch only advances on
-// success).
+// Path returns the snapshot file path (single-file mode) or the
+// checkpoint directory (durable mode).
+func (c *Checkpointer) Path() string {
+	if c.path != "" {
+		return c.path
+	}
+	return c.dir
+}
+
+// Save persists g unless epoch is already the one on disk; it reports
+// whether a write happened. Concurrent calls serialize, and a failed
+// write stays retryable (the recorded epoch only advances on success).
 func (c *Checkpointer) Save(g *graph.EntityGraph, epoch uint64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.saved && c.last == epoch {
 		return false, nil
 	}
-	if err := SaveFile(c.path, g); err != nil {
+	if c.path != "" {
+		if err := SaveFile(c.path, g); err != nil {
+			return false, err
+		}
+		c.last, c.saved = epoch, true
+		return true, nil
+	}
+	if err := c.saveDurableLocked(g, epoch); err != nil {
 		return false, err
 	}
 	c.last, c.saved = epoch, true
 	return true, nil
+}
+
+// saveDurableLocked writes the epoch-named snapshot, swaps the manifest,
+// and only then cleans up — so a crash at any point leaves a manifest
+// naming a fully written snapshot whose epoch is known exactly. Every
+// step is fsynced (file data before each rename, the directory after)
+// before the WAL loses the records the checkpoint covers: truncation
+// must never outrun the snapshot on its way to stable storage.
+func (c *Checkpointer) saveDurableLocked(g *graph.EntityGraph, epoch uint64) error {
+	snapName := checkpointSnapName(c.name, epoch)
+	if err := SaveFile(filepath.Join(c.dir, snapName), g); err != nil {
+		return err
+	}
+	if err := syncDir(c.dir); err != nil {
+		return err
+	}
+	manifest := filepath.Join(c.dir, c.name+".current")
+	tmp := manifest + ".tmp"
+	if err := writeFileSync(tmp, []byte(snapName+"\n")); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, manifest); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(c.dir); err != nil {
+		return err
+	}
+	// Past the commit point: failures below cost disk space, not data.
+	if ents, err := os.ReadDir(c.dir); err == nil {
+		for _, e := range ents {
+			n := e.Name()
+			if n == snapName {
+				continue
+			}
+			if e, ok := checkpointSnapEpoch(c.name, n); ok && e != epoch {
+				os.Remove(filepath.Join(c.dir, n))
+			}
+		}
+	}
+	if c.wal != nil {
+		if err := c.wal.TruncateThrough(epoch); err != nil {
+			return fmt.Errorf("truncating WAL after checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFileSync is os.WriteFile plus an fsync before close.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func checkpointSnapName(name string, epoch uint64) string {
+	return fmt.Sprintf("%s-%020d.egpt", name, epoch)
+}
+
+// checkpointSnapEpoch parses fname as an epoch-named snapshot of name.
+func checkpointSnapEpoch(name, fname string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(fname, name+"-")
+	if !ok {
+		return 0, false
+	}
+	digits, ok := strings.CutSuffix(rest, ".egpt")
+	if !ok || len(digits) != 20 {
+		return 0, false
+	}
+	epoch, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// LoadLatestCheckpoint loads name's newest durable checkpoint from dir:
+// the snapshot its current-manifest names, plus the exact epoch it was
+// taken at. ok=false (with nil error) means no checkpoint exists yet.
+func LoadLatestCheckpoint(dir, name string) (*graph.EntityGraph, uint64, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name+".current"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	snapName := strings.TrimSpace(string(data))
+	epoch, ok := checkpointSnapEpoch(name, snapName)
+	if !ok || filepath.Base(snapName) != snapName {
+		return nil, 0, false, fmt.Errorf("%w: checkpoint manifest names %q", ErrCorrupt, snapName)
+	}
+	g, err := LoadFile(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("loading checkpoint %s: %w", snapName, err)
+	}
+	return g, epoch, true, nil
 }
