@@ -34,6 +34,18 @@
 // both flags set, checkpoints are epoch-named snapshots committed
 // through a current-manifest, and each checkpoint truncates the WAL
 // segments it makes redundant, so the log stays bounded.
+//
+// A durable previewd is also a replication leader: its WAL doubles as
+// the replication log. Start a read replica with
+//
+//	previewd -follow http://leader:8080 -addr :8081
+//
+// and it bootstraps every replicated graph from the leader, tails the
+// leader's WAL over HTTP, and serves byte-identical reads at the
+// leader's epochs; writes to the replica answer 503 naming the leader.
+// Give the replica -wal-dir and -checkpoint-dir and it is durable in
+// its own right — a restart resumes from local state and only ships the
+// records it missed. See docs/ARCHITECTURE.md, "Replication".
 package main
 
 import (
@@ -69,6 +81,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "with -mutable: directory for periodic snapshot persistence of mutated graphs (one <name>.egpt per graph; epoch-named snapshots plus a <name>.current manifest when -wal-dir is also set)")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint mutated graphs to -checkpoint-dir")
 	walDir := flag.String("wal-dir", "", "with -mutable: directory for per-graph write-ahead logs; every batch is logged and fsynced before its epoch is acknowledged, and startup replays checkpoint + WAL tail to resume at the exact pre-crash epoch")
+	follow := flag.String("follow", "", "run as a read replica of the leader previewd at this base URL: its replicated graphs are bootstrapped and tail-followed over WAL shipping, writes here answer 503 naming the leader; add -wal-dir and -checkpoint-dir to make the replica durable (restart resumes from local state)")
 	var loads []func() (string, *previewtables.EntityGraph, error) // deferred so -scale applies regardless of flag order
 	flag.Func("graph", "register a graph: name=path (repeatable; format by extension)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -99,21 +112,63 @@ func main() {
 	walkOpts := score.DefaultWalkOptions()
 	walkOpts.Parallelism = workers
 
-	if len(loads) == 0 {
-		fmt.Fprintln(os.Stderr, "previewd: no graphs; pass at least one -graph name=path or -domain name")
+	if len(loads) == 0 && *follow == "" {
+		fmt.Fprintln(os.Stderr, "previewd: no graphs; pass at least one -graph name=path or -domain name (or -follow a leader)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *ckptDir != "" && !*mutable {
-		log.Fatal("-checkpoint-dir requires -mutable (static graphs never change)")
+	if *ckptDir != "" && !*mutable && *follow == "" {
+		log.Fatal("-checkpoint-dir requires -mutable or -follow (static graphs never change)")
 	}
-	if *walDir != "" && !*mutable {
-		log.Fatal("-wal-dir requires -mutable (static graphs never change)")
+	if *walDir != "" && !*mutable && *follow == "" {
+		log.Fatal("-wal-dir requires -mutable or -follow (static graphs never change)")
 	}
 	if *ckptDir != "" && *ckptEvery <= 0 {
 		log.Fatalf("-checkpoint-interval must be positive, got %v", *ckptEvery)
 	}
+	if *follow != "" {
+		if len(loads) > 0 {
+			log.Fatal("-follow replicates the leader's graphs; drop -graph/-domain")
+		}
+		if *mutable {
+			log.Fatal("-follow is incompatible with -mutable: a replica accepts writes only from the replication stream")
+		}
+		if (*ckptDir == "") != (*walDir == "") {
+			log.Fatal("a durable replica needs -checkpoint-dir and -wal-dir together (the checkpoint anchors the local WAL's epoch base)")
+		}
+	}
 	wals := map[string]*storage.WAL{}
+	ckpts := map[string]*storage.Checkpointer{}
+	if *follow != "" {
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		followers, err := service.FollowAll(reg, service.FollowerOptions{
+			Leader:        *follow,
+			Walk:          walkOpts,
+			CheckpointDir: *ckptDir,
+			WALRoot:       *walDir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(followers) == 0 {
+			log.Fatalf("leader %s ships no graphs; it needs -mutable -wal-dir", *follow)
+		}
+		for _, f := range followers {
+			log.Printf("graph %q: following %s from epoch %d", f.Name(), *follow, f.Applied())
+			if w := f.WAL(); w != nil {
+				wals[f.Name()] = w
+			}
+			// Share the follower's checkpointer: its re-bootstrap saves and
+			// the periodic loop's must serialize through one instance.
+			if ck := f.Checkpointer(); ck != nil {
+				ckpts[f.Name()] = ck
+			}
+		}
+	}
 	for _, load := range loads {
 		name, g, err := load()
 		if err != nil {
@@ -123,18 +178,23 @@ func main() {
 		switch {
 		case *mutable && *walDir != "":
 			// Durable: recover checkpoint + WAL tail, then log every new
-			// batch before acknowledging it.
-			live, wal, err := service.RecoverLive(g, name, *ckptDir, filepath.Join(*walDir, name), walkOpts)
+			// batch before acknowledging it. The recovery origin is kept so
+			// followers can bootstrap a byte-identical replica.
+			rec, err := service.RecoverLive(g, name, *ckptDir, filepath.Join(*walDir, name), walkOpts)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if epoch := live.Snapshot().Epoch; epoch > 0 {
-				log.Printf("graph %q: recovered to epoch %d (%s)", name, epoch, live.Snapshot().Stats)
+			if epoch := rec.Live.Snapshot().Epoch; epoch > 0 {
+				log.Printf("graph %q: recovered to epoch %d (%s)", name, epoch, rec.Live.Snapshot().Stats)
 			}
-			if err := reg.AddLive(name, live, service.WithDurability(wal)); err != nil {
+			opts := []service.LiveOption{
+				service.WithDurability(rec.WAL),
+				service.WithOrigin(rec.Origin, rec.OriginEpoch),
+			}
+			if err := reg.AddLive(name, rec.Live, opts...); err != nil {
 				log.Fatal(err)
 			}
-			wals[name] = wal
+			wals[name] = rec.WAL
 		case *mutable:
 			dg, err := dynamic.FromEntityGraph(g)
 			if err != nil {
@@ -168,7 +228,7 @@ func main() {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		go checkpointLoop(reg, *ckptDir, *ckptEvery, wals)
+		go checkpointLoop(reg, *ckptDir, *ckptEvery, wals, ckpts)
 	}
 
 	srv := &http.Server{
@@ -178,7 +238,10 @@ func main() {
 		WriteTimeout: 60 * time.Second,
 	}
 	mode := "read-only"
-	if *mutable {
+	switch {
+	case *follow != "":
+		mode = "read-replica (leader " + *follow + ")"
+	case *mutable:
 		mode = "mutable"
 	}
 	log.Printf("serving %d %s graph(s) %v on %s (parallelism %d)", len(reg.Names()), mode, reg.Names(), *addr, workers)
@@ -190,10 +253,11 @@ func main() {
 // quiet graph costs one atomic-counter read per tick. Graphs with a WAL
 // get durable (epoch-named, manifest-committed) checkpoints that
 // truncate the replayed log segments after each successful save.
-func checkpointLoop(reg *service.Registry, dir string, every time.Duration, wals map[string]*storage.WAL) {
-	// Checkpointers materialize lazily per tick, so a graph registered
-	// after the loop starts is picked up instead of dereferenced as nil.
-	ckpts := map[string]*storage.Checkpointer{}
+func checkpointLoop(reg *service.Registry, dir string, every time.Duration, wals map[string]*storage.WAL, ckpts map[string]*storage.Checkpointer) {
+	// Follower graphs arrive with their checkpointer pre-seeded (shared
+	// with the replication loop's re-bootstrap saves); the rest
+	// materialize lazily per tick, so a graph registered after the loop
+	// starts is picked up instead of dereferenced as nil.
 	for range time.Tick(every) {
 		for _, name := range reg.Names() {
 			gr, ok := reg.Get(name)

@@ -156,6 +156,26 @@ func (l *Live) ApplyBatch(kind byte, payload []byte, mutate func(*Graph) error) 
 	return l.applyLocked(kind, payload, mutate)
 }
 
+// ApplyShipped applies one replicated batch at the epoch its leader
+// assigned: the follower half of WAL shipping. It is ApplyBatch with the
+// epoch checked instead of chosen — the shipped record must create
+// exactly the next epoch (a gap means records were lost in transit; a
+// stale epoch means the batch is already applied), and everything else
+// runs through the same machinery as a local write: the mutation under
+// the writer lock, the durability hook (the follower's own WAL, so a
+// replica is durable in its own right), and the epoch publication. A
+// follower that only ever applies shipped batches therefore replays the
+// leader's exact state sequence, which is what makes its reads
+// byte-identical.
+func (l *Live) ApplyShipped(epoch uint64, kind byte, payload []byte, mutate func(*Graph) error) (*Snapshot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur := l.snap.Load().Epoch; epoch != cur+1 {
+		return nil, fmt.Errorf("dynamic: shipped batch carries epoch %d, want %d", epoch, cur+1)
+	}
+	return l.applyLocked(kind, payload, mutate)
+}
+
 func (l *Live) applyLocked(kind byte, payload []byte, mutate func(*Graph) error) (*Snapshot, error) {
 	if l.wedged != nil {
 		return nil, fmt.Errorf("%w: %v", ErrWedged, l.wedged)

@@ -410,3 +410,57 @@ func TestLivePublishFailureAfterLogWedges(t *testing.T) {
 		t.Fatalf("wedged facade still logging: %d", logged)
 	}
 }
+
+// TestApplyShippedEnforcesLeaderEpoch: the follower apply path accepts a
+// batch only at exactly the next epoch — a stale epoch (already applied)
+// and a gapped epoch (records lost in transit) are both refused without
+// mutating anything — and an accepted batch runs through the same
+// durability hook and publication as a local write.
+func TestApplyShippedEnforcesLeaderEpoch(t *testing.T) {
+	live := newFig1Live(t)
+	var hooked []uint64
+	live.SetDurability(func(epoch uint64, kind byte, payload []byte) error {
+		hooked = append(hooked, epoch)
+		return nil
+	})
+
+	snap, err := live.ApplyShipped(1, 7, []byte("shipped-1"), addHancockGenre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || live.Snapshot() != snap {
+		t.Fatalf("shipped batch published epoch %d, want 1", snap.Epoch)
+	}
+	if len(hooked) != 1 || hooked[0] != 1 {
+		t.Fatalf("durability hook saw %v, want [1]", hooked)
+	}
+
+	before := live.Snapshot()
+	mutations := 0
+	count := func(g *dynamic.Graph) error { mutations++; return addHancockGenre(g) }
+	if _, err := live.ApplyShipped(1, 7, []byte("replayed"), count); err == nil {
+		t.Fatal("stale shipped epoch accepted")
+	}
+	if _, err := live.ApplyShipped(3, 7, []byte("gap"), count); err == nil {
+		t.Fatal("gapped shipped epoch accepted")
+	}
+	if mutations != 0 {
+		t.Fatalf("refused shipped batches ran their mutation %d times", mutations)
+	}
+	if live.Snapshot() != before || len(hooked) != 1 {
+		t.Fatal("refused shipped batch published or logged")
+	}
+
+	if snap, err = live.ApplyShipped(2, 7, []byte("shipped-2"), addHancockGenre); err != nil || snap.Epoch != 2 {
+		t.Fatalf("next shipped epoch: snap %v err %v", snap, err)
+	}
+
+	// A wedged facade refuses shipped batches like any other write.
+	live.SetDurability(func(uint64, byte, []byte) error { return errors.New("disk full") })
+	if _, err := live.ApplyShipped(3, 7, []byte("b"), addHancockGenre); err == nil {
+		t.Fatal("hook failure not surfaced")
+	}
+	if _, err := live.ApplyShipped(3, 7, []byte("b"), addHancockGenre); !errors.Is(err, dynamic.ErrWedged) {
+		t.Fatalf("post-failure shipped batch error = %v, want ErrWedged", err)
+	}
+}

@@ -30,29 +30,48 @@ const (
 	batchKindTriples byte = 2 // POST /triples: native triple-format text
 )
 
-// replayRecord applies one logged batch to g. Logged batches were fully
-// validated before they were logged, so a failure here means the durable
-// state is inconsistent (say, a WAL paired with the wrong checkpoint) —
-// recovery must stop rather than guess.
-func replayRecord(g *dynamic.Graph, rec storage.WALRecord) error {
-	switch rec.Kind {
+// applyLogged applies one logged batch body to g — the shared replay
+// path of WAL recovery and follower replication, running the exact bytes
+// through the exact code that applied them originally. Logged batches
+// were fully validated before they were logged, so a failure here means
+// the durable state is inconsistent (say, a WAL paired with the wrong
+// checkpoint, or a stream from a different graph) — the caller must stop
+// rather than guess.
+func applyLogged(g *dynamic.Graph, kind byte, payload []byte) error {
+	switch kind {
 	case batchKindEdges:
 		var req edgesRequest
-		if err := json.Unmarshal(rec.Payload, &req); err != nil {
+		if err := json.Unmarshal(payload, &req); err != nil {
 			return fmt.Errorf("decoding edge batch: %v", err)
 		}
 		return applyEdgeBatch(g, req.Edges)
 	case batchKindTriples:
-		return triple.Decode(bytes.NewReader(rec.Payload), liveSink{g})
+		return triple.Decode(bytes.NewReader(payload), liveSink{g})
 	default:
-		return fmt.Errorf("unknown batch kind %d", rec.Kind)
+		return fmt.Errorf("unknown batch kind %d", kind)
 	}
+}
+
+// Recovery is the result of RecoverLive: the resumed facade, the opened
+// WAL ready for further appends, and the origin the replay started from.
+// Register the pieces together:
+//
+//	reg.AddLive(name, rec.Live, WithDurability(rec.WAL), WithOrigin(rec.Origin, rec.OriginEpoch))
+type Recovery struct {
+	Live *dynamic.Live
+	WAL  *storage.WAL
+	// Origin is the state the WAL tail was replayed onto — the newest
+	// checkpoint, or the caller's base graph — and OriginEpoch its epoch.
+	// The replication bootstrap endpoint serves it to fresh followers, so
+	// they reconstruct this process's state through the identical code
+	// path (see WithOrigin).
+	Origin      *graph.EntityGraph
+	OriginEpoch uint64
 }
 
 // RecoverLive rebuilds one durable live graph from its persisted state
 // and returns the facade resumed at the exact recovered epoch, plus the
-// opened WAL ready for further appends (register both together:
-// reg.AddLive(name, live, WithDurability(wal))).
+// opened WAL ready for further appends.
 //
 //   - The newest valid checkpoint under ckptDir (written by
 //     storage.NewDurableCheckpointer) is loaded when one exists;
@@ -67,40 +86,61 @@ func replayRecord(g *dynamic.Graph, rec storage.WALRecord) error {
 //
 // The recovered facade serves the same previews, byte for byte, that the
 // pre-crash process acknowledged at that epoch.
-func RecoverLive(base *graph.EntityGraph, name, ckptDir, walDir string, opts score.WalkOptions) (*dynamic.Live, *storage.WAL, error) {
-	g, epoch := base, uint64(0)
+func RecoverLive(base *graph.EntityGraph, name, ckptDir, walDir string, opts score.WalkOptions) (*Recovery, error) {
+	return recoverLiveAt(base, 0, name, ckptDir, walDir, opts)
+}
+
+// recoverLiveAt is RecoverLive with the base graph pinned to a known
+// epoch: a follower's base is the bootstrap snapshot it fetched from its
+// leader, which is rarely epoch 0. A newer local checkpoint still wins.
+func recoverLiveAt(base *graph.EntityGraph, baseEpoch uint64, name, ckptDir, walDir string, opts score.WalkOptions) (*Recovery, error) {
+	g, epoch := base, baseEpoch
 	if ckptDir != "" {
 		snap, e, ok, err := storage.LoadLatestCheckpoint(ckptDir, name)
 		if err != nil {
-			return nil, nil, fmt.Errorf("service: recovering %q: %w", name, err)
+			return nil, fmt.Errorf("service: recovering %q: %w", name, err)
 		}
-		if ok {
+		if ok && e >= epoch {
 			g, epoch = snap, e
 		}
 	}
+	origin, originEpoch := g, epoch
 	dg, err := dynamic.FromEntityGraph(g)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: recovering %q: %w", name, err)
+		return nil, fmt.Errorf("service: recovering %q: %w", name, err)
 	}
 	recs, replayErr := storage.ReplayWAL(walDir)
 	if replayErr != nil && !errors.Is(replayErr, storage.ErrCorrupt) {
-		return nil, nil, fmt.Errorf("service: recovering %q: %w", name, replayErr)
+		return nil, fmt.Errorf("service: recovering %q: %w", name, replayErr)
 	}
 	for _, rec := range recs {
 		if rec.Epoch <= epoch {
 			continue // already in the checkpoint
 		}
 		if rec.Epoch != epoch+1 {
-			return nil, nil, fmt.Errorf("service: recovering %q: WAL resumes at epoch %d but checkpoint is at %d; log truncated past its checkpoint", name, rec.Epoch, epoch)
+			return nil, fmt.Errorf("service: recovering %q: WAL resumes at epoch %d but checkpoint is at %d; log truncated past its checkpoint", name, rec.Epoch, epoch)
 		}
-		if err := replayRecord(dg, rec); err != nil {
-			return nil, nil, fmt.Errorf("service: recovering %q: replaying epoch %d: %w", name, rec.Epoch, err)
+		// Reproduce the live path's score-solve trajectory, not just its
+		// final state: the walk measure is a warm-started power iteration,
+		// so the published scores depend on the sequence of solves (one per
+		// epoch). Solving the pre-record state here — with the final state's
+		// solve supplied by NewLiveAt's publish below — yields exactly one
+		// solve per state in epoch order, the same trajectory the original
+		// process ran, which is what makes recovered (and replicated) walk
+		// scores byte-identical rather than merely converged-within-
+		// tolerance. Cost: one O(K²)-per-iteration re-solve per replayed
+		// batch, the same price the live path paid.
+		if _, err := dg.Scores(opts); err != nil {
+			return nil, fmt.Errorf("service: recovering %q: refreshing scores before epoch %d: %w", name, rec.Epoch, err)
+		}
+		if err := applyLogged(dg, rec.Kind, rec.Payload); err != nil {
+			return nil, fmt.Errorf("service: recovering %q: replaying epoch %d: %w", name, rec.Epoch, err)
 		}
 		epoch = rec.Epoch
 	}
 	wal, err := storage.OpenWAL(walDir, storage.WALOptions{})
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: recovering %q: opening WAL: %w", name, err)
+		return nil, fmt.Errorf("service: recovering %q: opening WAL: %w", name, err)
 	}
 	// Reconcile the log with the recovered epoch. The log can end behind
 	// it — empty after a checkpoint-only restart, or its valid prefix
@@ -112,18 +152,18 @@ func RecoverLive(base *graph.EntityGraph, name, ckptDir, walDir string, opts sco
 		if ok {
 			if err := wal.TruncateThrough(epoch); err != nil {
 				wal.Close()
-				return nil, nil, fmt.Errorf("service: recovering %q: dropping stale WAL prefix: %w", name, err)
+				return nil, fmt.Errorf("service: recovering %q: dropping stale WAL prefix: %w", name, err)
 			}
 		}
 		if err := wal.AlignTo(epoch); err != nil {
 			wal.Close()
-			return nil, nil, fmt.Errorf("service: recovering %q: %w", name, err)
+			return nil, fmt.Errorf("service: recovering %q: %w", name, err)
 		}
 	}
 	live, err := dynamic.NewLiveAt(dg, opts, epoch)
 	if err != nil {
 		wal.Close()
-		return nil, nil, fmt.Errorf("service: recovering %q: %w", name, err)
+		return nil, fmt.Errorf("service: recovering %q: %w", name, err)
 	}
-	return live, wal, nil
+	return &Recovery{Live: live, WAL: wal, Origin: origin, OriginEpoch: originEpoch}, nil
 }

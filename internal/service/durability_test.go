@@ -24,6 +24,7 @@ import (
 type durableSession struct {
 	live *dynamic.Live
 	wal  *storage.WAL
+	srv  *Server // the handler behind ts, for wrapping in test proxies
 	ts   *httptest.Server
 }
 
@@ -31,18 +32,20 @@ type durableSession struct {
 // exactly like previewd -mutable -wal-dir does at startup.
 func startDurable(t testing.TB, ckptDir, walDir string) *durableSession {
 	t.Helper()
-	live, wal, err := RecoverLive(fig1.Graph(), "fig1", ckptDir, walDir, score.DefaultWalkOptions())
+	rec, err := RecoverLive(fig1.Graph(), "fig1", ckptDir, walDir, score.DefaultWalkOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
+	live, wal := rec.Live, rec.WAL
 	t.Cleanup(func() { wal.Close() })
 	reg := NewRegistry()
-	if err := reg.AddLive("fig1", live, WithDurability(wal)); err != nil {
+	if err := reg.AddLive("fig1", live, WithDurability(wal), WithOrigin(rec.Origin, rec.OriginEpoch)); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg))
+	srv := New(reg)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return &durableSession{live: live, wal: wal, ts: ts}
+	return &durableSession{live: live, wal: wal, srv: srv, ts: ts}
 }
 
 func (s *durableSession) crash() {
@@ -328,14 +331,14 @@ func BenchmarkRecovery(b *testing.B) {
 	base := fig1.Graph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		live, w, err := RecoverLive(base, "fig1", "", walDir, score.DefaultWalkOptions())
+		rec, err := RecoverLive(base, "fig1", "", walDir, score.DefaultWalkOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
-		if live.Snapshot().Epoch != 100 {
-			b.Fatalf("recovered epoch %d", live.Snapshot().Epoch)
+		if rec.Live.Snapshot().Epoch != 100 {
+			b.Fatalf("recovered epoch %d", rec.Live.Snapshot().Epoch)
 		}
-		w.Close()
+		rec.WAL.Close()
 	}
 }
 

@@ -1,0 +1,515 @@
+package service
+
+// Follower: the client half of WAL shipping. One Follower replicates one
+// graph from a leader previewd into the local registry: it bootstraps
+// from the leader's checkpoint route (or resumes from its own local
+// checkpoint + WAL), then tails the leader's wal route and feeds every
+// shipped record through dynamic.Live.ApplyShipped — the exact
+// ApplyBatch/epoch-publication machinery local writes use, including the
+// follower's own durability hook, so a follower is durable in its own
+// right and a restart resumes from local state instead of re-shipping
+// history.
+//
+// Failure handling is two-tier. Transport errors and damaged streams
+// (ErrCorrupt from the frame decoder) drop the connection and re-request
+// from the last applied epoch — nothing corrupt is ever applied, because
+// a record is applied only after its checksum verified. Divergence — the
+// leader says 409, or a shipped record fails to apply — is fatal: the
+// nodes disagree about history and re-requesting cannot reconcile them,
+// so the loop stops and reports through the status endpoint while reads
+// keep serving the last good epoch.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/uta-db/previewtables/internal/dynamic"
+	"github.com/uta-db/previewtables/internal/graph"
+	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/storage"
+)
+
+// FollowerOptions configures replication from one leader.
+type FollowerOptions struct {
+	// Leader is the leader previewd's base URL (e.g. http://leader:8080).
+	Leader string
+	// Client issues the HTTP requests; it must not impose an overall
+	// request timeout shorter than Wait (long polls are held open that
+	// long on purpose). Nil means a dedicated timeout-free client.
+	Client *http.Client
+	// Walk configures the follower's score refreshes; use the same
+	// options as the leader for byte-identical walk scores.
+	Walk score.WalkOptions
+	// CheckpointDir and WALRoot make the follower durable: the bootstrap
+	// snapshot is committed as a durable checkpoint and every shipped
+	// batch is logged to WALRoot/<graph> before its epoch publishes, so a
+	// restart resumes locally. Set both or neither — a local WAL without
+	// a checkpoint has no epoch base to recover against.
+	CheckpointDir string
+	WALRoot       string
+	// Wait is the long-poll duration requested from the leader
+	// (0 = DefaultReplicationWait).
+	Wait time.Duration
+	// Backoff is the pause after a failed poll before re-syncing
+	// (0 = 250ms).
+	Backoff time.Duration
+	// OnApply, when set, observes every applied epoch in order — test
+	// instrumentation for the contiguity property.
+	OnApply func(epoch uint64)
+}
+
+func (o *FollowerOptions) durable() bool { return o.WALRoot != "" }
+
+func (o *FollowerOptions) wait() time.Duration {
+	if o.Wait > 0 {
+		return o.Wait
+	}
+	return DefaultReplicationWait
+}
+
+func (o *FollowerOptions) backoff() time.Duration {
+	if o.Backoff > 0 {
+		return o.Backoff
+	}
+	return 250 * time.Millisecond
+}
+
+func (o *FollowerOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return &http.Client{}
+}
+
+// errDiverged marks failures re-requesting cannot fix; the loop stops.
+var errDiverged = errors.New("service: follower diverged from its leader")
+
+// Follower replicates one graph; obtain one with StartFollower.
+type Follower struct {
+	reg  *Registry
+	name string
+	opts FollowerOptions
+
+	gr *Graph
+	// live is written by boot and by the replication goroutine's
+	// rebootstrap, and read by Applied() from arbitrary goroutines —
+	// hence atomic.
+	live atomic.Pointer[dynamic.Live]
+	wal  *storage.WAL          // nil when volatile
+	ckpt *storage.Checkpointer // shared with previewd's checkpoint loop; nil when volatile
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu sync.Mutex
+	st FollowStatus
+}
+
+// StartFollower bootstraps graph name from the leader (or resumes from
+// local durable state), registers it in reg as a read replica, and
+// starts the replication loop. The registry is marked as following the
+// leader, so its write endpoints answer 503.
+func StartFollower(reg *Registry, name string, opts FollowerOptions) (*Follower, error) {
+	if opts.Leader == "" {
+		return nil, errors.New("service: follower needs a leader URL")
+	}
+	opts.Leader = strings.TrimRight(opts.Leader, "/")
+	if (opts.CheckpointDir == "") != (opts.WALRoot == "") {
+		return nil, errors.New("service: follower durability needs CheckpointDir and WALRoot together")
+	}
+	f := &Follower{reg: reg, name: name, opts: opts}
+	if err := f.boot(context.Background()); err != nil {
+		return nil, fmt.Errorf("service: following %q from %s: %w", name, opts.Leader, err)
+	}
+	reg.SetLeader(opts.Leader)
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel, f.done = cancel, make(chan struct{})
+	go f.run(ctx)
+	return f, nil
+}
+
+// FollowAll discovers the leader's replicated graphs and starts a
+// follower for each, skipping graphs the leader cannot ship (static or
+// volatile ones). previewd -follow uses it at startup.
+func FollowAll(reg *Registry, opts FollowerOptions) ([]*Follower, error) {
+	leader := strings.TrimRight(opts.Leader, "/")
+	var listing struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+	}
+	resp, err := opts.client().Get(leader + "/v1/graphs")
+	if err != nil {
+		return nil, fmt.Errorf("service: listing %s's graphs: %w", leader, err)
+	}
+	err = decodeJSONBody(resp, &listing)
+	if err != nil {
+		return nil, fmt.Errorf("service: listing %s's graphs: %w", leader, err)
+	}
+	var fs []*Follower
+	for _, g := range listing.Graphs {
+		st, err := opts.client().Get(leader + "/v1/replication/" + url.PathEscape(g.Name) + "/status")
+		if err != nil {
+			return fs, err
+		}
+		io.Copy(io.Discard, st.Body)
+		st.Body.Close()
+		if st.StatusCode == http.StatusNotFound {
+			continue // not replicated; nothing to follow
+		}
+		f, err := StartFollower(reg, g.Name, opts)
+		if err != nil {
+			return fs, err
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}
+
+// Stop halts the replication loop and closes the local WAL. Reads keep
+// serving the last applied epoch until the process exits.
+func (f *Follower) Stop() {
+	f.cancel()
+	<-f.done
+	if f.wal != nil {
+		f.wal.Close()
+	}
+}
+
+// Name returns the replicated graph's name.
+func (f *Follower) Name() string { return f.name }
+
+// WAL returns the follower's local write-ahead log, or nil when the
+// follower is volatile. previewd's checkpoint loop uses it to bound the
+// local log exactly as on a leader.
+func (f *Follower) WAL() *storage.WAL { return f.wal }
+
+// Checkpointer returns the follower's durable checkpointer, or nil when
+// the follower is volatile. Periodic checkpoint loops must use this
+// instance rather than constructing their own: a Checkpointer serializes
+// its saves internally, and two independent instances over the same
+// directory could delete each other's snapshots out from under the
+// current-manifest.
+func (f *Follower) Checkpointer() *storage.Checkpointer { return f.ckpt }
+
+// Applied returns the last shipped epoch applied and published.
+func (f *Follower) Applied() uint64 { return f.live.Load().Snapshot().Epoch }
+
+// Status returns a copy of the replication-loop status.
+func (f *Follower) Status() FollowStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// WaitCaughtUp blocks until the follower has applied at least epoch, the
+// timeout passes, or the loop fails fatally.
+func (f *Follower) WaitCaughtUp(epoch uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Applied() >= epoch {
+			return nil
+		}
+		select {
+		case <-f.done:
+			return fmt.Errorf("service: follower %q stopped at epoch %d: %s", f.name, f.Applied(), f.Status().Err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service: follower %q at epoch %d, want %d after %v (status %+v)",
+				f.name, f.Applied(), epoch, timeout, f.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// boot builds the initial facade — from local durable state when it
+// exists, else from the leader's checkpoint route — and registers it.
+func (f *Follower) boot(ctx context.Context) error {
+	var (
+		base      *graph.EntityGraph
+		baseEpoch uint64
+	)
+	if f.opts.durable() {
+		g, e, ok, err := storage.LoadLatestCheckpoint(f.opts.CheckpointDir, f.name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			base, baseEpoch = g, e
+		}
+	}
+	if base == nil {
+		g, e, err := f.fetchBootstrap(ctx)
+		if err != nil {
+			return err
+		}
+		base, baseEpoch = g, e
+		f.bumpBootstraps()
+		if f.opts.durable() {
+			// Commit the bootstrap before serving it: a restart must know
+			// which epoch the local WAL tail continues from.
+			if _, err := storage.NewDurableCheckpointer(f.opts.CheckpointDir, f.name, nil).Save(g, e); err != nil {
+				return fmt.Errorf("committing bootstrap checkpoint: %w", err)
+			}
+		}
+	}
+	if f.opts.durable() {
+		rec, err := recoverLiveAt(base, baseEpoch, f.name, f.opts.CheckpointDir, f.walDir(), f.opts.Walk)
+		if err != nil {
+			return err
+		}
+		f.live.Store(rec.Live)
+		f.wal = rec.WAL
+		f.ckpt = storage.NewDurableCheckpointer(f.opts.CheckpointDir, f.name, f.wal)
+		if err := f.reg.AddLive(f.name, rec.Live,
+			WithDurability(f.wal), WithOrigin(rec.Origin, rec.OriginEpoch)); err != nil {
+			f.wal.Close()
+			return err
+		}
+	} else {
+		dg, err := dynamic.FromEntityGraph(base)
+		if err != nil {
+			return err
+		}
+		live, err := dynamic.NewLiveAt(dg, f.opts.Walk, baseEpoch)
+		if err != nil {
+			return err
+		}
+		f.live.Store(live)
+		if err := f.reg.AddLive(f.name, live); err != nil {
+			return err
+		}
+	}
+	gr, _ := f.reg.Get(f.name)
+	f.gr = gr
+	f.publishStatus(func(st *FollowStatus) { st.AppliedEpoch = f.Applied() })
+	return nil
+}
+
+func (f *Follower) walDir() string { return filepath.Join(f.opts.WALRoot, f.name) }
+
+// run is the replication loop: poll, apply, repeat; back off on
+// retryable failures, stop on divergence.
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	for {
+		err := f.poll(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err == nil:
+			f.publishStatus(func(st *FollowStatus) { st.Err = "" })
+			continue
+		case errors.Is(err, errDiverged), errors.Is(err, dynamic.ErrWedged):
+			f.publishStatus(func(st *FollowStatus) { st.Err = err.Error() })
+			return
+		default:
+			// Transport failure or damaged stream: re-sync from the last
+			// applied epoch after a pause.
+			f.publishStatus(func(st *FollowStatus) { st.Resyncs++; st.Err = err.Error() })
+			select {
+			case <-time.After(f.opts.backoff()):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// poll runs one wal-route request and applies everything it ships.
+func (f *Follower) poll(ctx context.Context) error {
+	applied := f.live.Load().Snapshot().Epoch
+	u := fmt.Sprintf("%s/v1/replication/%s/wal?from=%d&wait=%s",
+		f.opts.Leader, url.PathEscape(f.name), applied, f.opts.wait())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.opts.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if e, err := strconv.ParseUint(resp.Header.Get(epochHeader), 10, 64); err == nil {
+		f.publishStatus(func(st *FollowStatus) { st.LeaderEpoch = e })
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to the stream below
+	case http.StatusGone:
+		// Behind the truncation horizon: tailing cannot catch up any more.
+		return f.rebootstrap(ctx)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", errDiverged, readError(resp))
+	default:
+		return fmt.Errorf("leader answered %d: %s", resp.StatusCode, readError(resp))
+	}
+	sr := storage.NewWALStreamReader(resp.Body)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// Damaged or torn stream: nothing from it was applied past the
+			// last verified record; re-sync from there.
+			return fmt.Errorf("shipped stream from epoch %d: %w", applied, err)
+		}
+		if rec.Epoch <= f.live.Load().Snapshot().Epoch {
+			continue // duplicate delivery after a re-sync; already applied
+		}
+		if err := f.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// applyRecord feeds one verified shipped record through the same
+// machinery as a local write and publishes its epoch.
+func (f *Follower) applyRecord(rec storage.WALRecord) error {
+	snap, err := f.live.Load().ApplyShipped(rec.Epoch, rec.Kind, rec.Payload, func(g *dynamic.Graph) error {
+		return applyLogged(g, rec.Kind, rec.Payload)
+	})
+	if err != nil {
+		if errors.Is(err, dynamic.ErrWedged) {
+			return err
+		}
+		// A checksum-valid record that fails to apply means the nodes
+		// disagree about history (wrong leader, reset leader): fatal.
+		return fmt.Errorf("%w: applying shipped epoch %d: %v", errDiverged, rec.Epoch, err)
+	}
+	f.gr.publish(snap)
+	f.publishStatus(func(st *FollowStatus) { st.AppliedEpoch = snap.Epoch })
+	if f.opts.OnApply != nil {
+		f.opts.OnApply(snap.Epoch)
+	}
+	return nil
+}
+
+// rebootstrap refetches a whole checkpoint and swaps the facade — the
+// slow path for a follower that fell behind the leader's truncation
+// horizon. The local WAL is truncated to the new base (every dropped
+// record is covered by the fetched snapshot) and re-based so shipped
+// appends continue cleanly.
+func (f *Follower) rebootstrap(ctx context.Context) error {
+	g, e, err := f.fetchBootstrap(ctx)
+	if err != nil {
+		return err
+	}
+	if applied := f.live.Load().Snapshot().Epoch; e < applied {
+		return fmt.Errorf("%w: leader's bootstrap epoch %d is behind our applied epoch %d", errDiverged, e, applied)
+	}
+	if f.opts.durable() {
+		// The shared checkpointer (also driven by previewd's checkpoint
+		// loop) serializes this save against periodic ones — two racing
+		// instances could otherwise delete each other's snapshots out from
+		// under the manifest.
+		if _, err := f.ckpt.Save(g, e); err != nil {
+			return fmt.Errorf("committing re-bootstrap checkpoint: %w", err)
+		}
+		if last, ok := f.wal.LastEpoch(); !ok || last < e {
+			if err := f.wal.AlignTo(e); err != nil {
+				return err
+			}
+		}
+	}
+	dg, err := dynamic.FromEntityGraph(g)
+	if err != nil {
+		return err
+	}
+	live, err := dynamic.NewLiveAt(dg, f.opts.Walk, e)
+	if err != nil {
+		return err
+	}
+	var src *replSource
+	if f.wal != nil {
+		live.SetDurability(func(epoch uint64, kind byte, payload []byte) error {
+			return f.wal.Append(epoch, kind, payload)
+		})
+		src = &replSource{wal: f.wal, origin: g, originEpoch: e}
+	}
+	f.live.Store(live)
+	f.gr.resetLive(live, src)
+	f.bumpBootstraps()
+	f.publishStatus(func(st *FollowStatus) { st.AppliedEpoch = e })
+	return nil
+}
+
+// fetchBootstrap downloads and validates the leader's checkpoint.
+func (f *Follower) fetchBootstrap(ctx context.Context) (*graph.EntityGraph, uint64, error) {
+	u := f.opts.Leader + "/v1/replication/" + url.PathEscape(f.name) + "/checkpoint"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := f.opts.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("bootstrap: leader answered %d: %s", resp.StatusCode, readError(resp))
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(epochHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bootstrap: bad %s header: %v", epochHeader, err)
+	}
+	g, err := storage.Read(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bootstrap snapshot: %w", err)
+	}
+	return g, epoch, nil
+}
+
+func (f *Follower) bumpBootstraps() {
+	f.publishStatus(func(st *FollowStatus) { st.Bootstraps++ })
+}
+
+// publishStatus mutates the status under the lock and republishes a copy
+// for the status endpoint.
+func (f *Follower) publishStatus(mut func(*FollowStatus)) {
+	f.mu.Lock()
+	mut(&f.st)
+	cp := f.st
+	f.mu.Unlock()
+	if f.gr != nil {
+		f.gr.follow.Store(&cp)
+	}
+}
+
+// readError extracts the JSON error body (or raw bytes) of a non-2xx
+// response for diagnostics; the body is small by construction.
+func readError(resp *http.Response) string {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return strings.TrimSpace(string(raw))
+}
+
+// decodeJSONBody decodes one JSON response body and closes it.
+func decodeJSONBody(resp *http.Response, v any) error {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, readError(resp))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

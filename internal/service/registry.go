@@ -55,6 +55,7 @@ type Registry struct {
 
 	mu     sync.RWMutex
 	graphs map[string]*Graph
+	leader string // non-empty = follower registry; writes answer 503 naming it
 
 	// scoreComputes counts score.Compute runs across all static graphs.
 	// Tests and benchmarks assert on it to prove the cache-hit path never
@@ -97,15 +98,32 @@ func (r *Registry) Add(name string, g *graph.EntityGraph) error {
 type LiveOption func(*liveConfig)
 
 type liveConfig struct {
-	wal *storage.WAL
+	wal         *storage.WAL
+	origin      *graph.EntityGraph
+	originEpoch uint64
 }
 
 // WithDurability makes the live graph durable: every batch the write
 // endpoints apply is appended to w — and synced — before its epoch is
 // published, so an acknowledged write survives a crash. Recovery is
-// RecoverLive's job; this option only installs the logging hook.
+// RecoverLive's job; this option only installs the logging hook. A
+// durable graph is also replicable: its WAL is what the replication
+// endpoints ship to followers.
 func WithDurability(w *storage.WAL) LiveOption {
 	return func(c *liveConfig) { c.wal = w }
+}
+
+// WithOrigin records the exact state this process built its live graph
+// from — the loaded base at epoch 0, or the recovered checkpoint at its
+// epoch (Recovery.Origin). The replication bootstrap endpoint serves it
+// while the WAL still reaches back that far, which is what lets a fresh
+// follower reconstruct the leader's state through the identical code
+// path and serve byte-identical reads; without it (or once truncation
+// has moved past it) bootstrap falls back to the current frozen
+// snapshot, whose replay is count-exact but entropy-equal only to the
+// last ulp (the same asymmetry as the leader's own checkpoint recovery).
+func WithOrigin(g *graph.EntityGraph, epoch uint64) LiveOption {
+	return func(c *liveConfig) { c.origin, c.originEpoch = g, epoch }
 }
 
 // AddLive registers a mutable graph under name: preview requests read
@@ -124,9 +142,30 @@ func (r *Registry) AddLive(name string, live *dynamic.Live, opts ...LiveOption) 
 			return cfg.wal.Append(epoch, kind, payload)
 		})
 	}
-	gr := &Graph{name: name, reg: r, live: live}
+	gr := &Graph{name: name, reg: r}
+	gr.live.Store(live)
+	if cfg.wal != nil {
+		gr.repl.Store(&replSource{wal: cfg.wal, origin: cfg.origin, originEpoch: cfg.originEpoch})
+	}
 	gr.publish(live.Snapshot())
 	return r.register(name, gr)
+}
+
+// SetLeader marks the whole registry as a follower of the previewd at
+// base URL addr: every write endpoint answers 503 naming it, because the
+// only writer a replica may accept from is the replication stream.
+// Passing "" restores normal write handling.
+func (r *Registry) SetLeader(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leader = addr
+}
+
+// Leader returns the leader address of a follower registry, or "".
+func (r *Registry) Leader() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.leader
 }
 
 func (r *Registry) register(name string, gr *Graph) error {
@@ -245,23 +284,100 @@ func (v *view) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Dis
 	return slot.disc
 }
 
+// replSource is what one graph can ship to followers: its WAL plus the
+// origin state recovery started from (see WithOrigin). Swapped as a unit
+// when a follower re-bootstraps mid-run.
+type replSource struct {
+	wal         *storage.WAL
+	origin      *graph.EntityGraph
+	originEpoch uint64
+}
+
+// FollowStatus is a follower's view of one replicated graph, published
+// by its replication loop and served by the replication status endpoint.
+type FollowStatus struct {
+	// AppliedEpoch is the last shipped epoch applied and published.
+	AppliedEpoch uint64
+	// LeaderEpoch is the leader's durable epoch as of the last poll.
+	LeaderEpoch uint64
+	// Resyncs counts streams dropped for corruption or transport failure
+	// and re-requested from the last applied epoch.
+	Resyncs uint64
+	// Bootstraps counts full checkpoint bootstraps (initial or after
+	// falling behind the leader's truncation horizon).
+	Bootstraps uint64
+	// Err is the last replication failure, cleared on the next success.
+	Err string
+}
+
 // Graph is one registered graph: a static entity graph or a live one,
-// behind an atomically swapped epoch view.
+// behind an atomically swapped epoch view. The live facade itself is
+// behind an atomic pointer because a follower that falls behind the
+// leader's truncation horizon replaces it wholesale (re-bootstrap)
+// while readers keep serving the old view.
 type Graph struct {
 	name string
 	reg  *Registry
-	live *dynamic.Live // non-nil iff the graph is mutable
+	live atomic.Pointer[dynamic.Live] // non-nil iff the graph is mutable
+	repl atomic.Pointer[replSource]   // non-nil iff the graph can ship its WAL
 	cur  atomic.Pointer[view]
+
+	// follow is the replication-loop status of a follower's graph.
+	follow atomic.Pointer[FollowStatus]
+
+	// notify is closed and replaced on every publish, waking replication
+	// long-polls; see epochChanged.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
 // Name returns the registered name.
 func (gr *Graph) Name() string { return gr.name }
 
 // Mutable reports whether the graph accepts writes.
-func (gr *Graph) Mutable() bool { return gr.live != nil }
+func (gr *Graph) Mutable() bool { return gr.live.Load() != nil }
 
 // Live returns the mutable graph's facade, or nil for static graphs.
-func (gr *Graph) Live() *dynamic.Live { return gr.live }
+func (gr *Graph) Live() *dynamic.Live { return gr.live.Load() }
+
+// replSrc returns the graph's shippable state, or nil when the graph is
+// static or volatile (no WAL, nothing to ship).
+func (gr *Graph) replSrc() *replSource { return gr.repl.Load() }
+
+// FollowState returns the replication-loop status published by a
+// follower for this graph, or nil on a leader.
+func (gr *Graph) FollowState() *FollowStatus { return gr.follow.Load() }
+
+// epochChanged returns a channel closed at the next publish. Callers
+// re-check their condition after it fires and call again for the next
+// edge — the standard broadcast-channel pattern.
+func (gr *Graph) epochChanged() <-chan struct{} {
+	gr.notifyMu.Lock()
+	defer gr.notifyMu.Unlock()
+	if gr.notifyCh == nil {
+		gr.notifyCh = make(chan struct{})
+	}
+	return gr.notifyCh
+}
+
+// broadcastEpoch wakes everything blocked in epochChanged.
+func (gr *Graph) broadcastEpoch() {
+	gr.notifyMu.Lock()
+	defer gr.notifyMu.Unlock()
+	if gr.notifyCh != nil {
+		close(gr.notifyCh)
+		gr.notifyCh = nil
+	}
+}
+
+// resetLive replaces a follower graph's facade and shippable state after
+// a re-bootstrap: the old live (and its view) keep serving readers until
+// the new snapshot publishes.
+func (gr *Graph) resetLive(live *dynamic.Live, src *replSource) {
+	gr.live.Store(live)
+	gr.repl.Store(src)
+	gr.publish(live.Snapshot())
+}
 
 // view returns the current epoch view. Handlers call it once per request
 // and thread the result through, so one request never mixes epochs.
@@ -286,6 +402,7 @@ func (gr *Graph) publish(snap *dynamic.Snapshot) *view {
 			return old
 		}
 		if gr.cur.CompareAndSwap(old, nv) {
+			gr.broadcastEpoch()
 			return nv
 		}
 	}

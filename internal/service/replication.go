@@ -1,0 +1,312 @@
+package service
+
+// Replication endpoints: WAL shipping from a leader to its followers.
+//
+//	GET /v1/replication/{graph}/status             replication status doc
+//	GET /v1/replication/{graph}/wal?from=E&wait=D  shipped records with epochs > E
+//	GET /v1/replication/{graph}/checkpoint         bootstrap snapshot + epoch header
+//
+// The wal route streams records in the shipped framing (the segment
+// record framing verbatim; see storage.EncodeWALRecord), capped at the
+// durable epoch observed when the response started. With nothing new to
+// ship it long-polls — the publish broadcast wakes it — and answers an
+// empty 200 at the wait deadline, so a quiet leader costs a follower one
+// cheap request per wait interval. A `from` behind the truncation
+// horizon answers 410 Gone: the records are no longer on disk and the
+// follower must re-bootstrap from the checkpoint route; a `from` ahead
+// of the leader's durable epoch answers 409 Conflict — the follower is
+// following the wrong leader (or a reset one) and tailing cannot
+// reconcile them.
+//
+// The checkpoint route serves the origin state (WithOrigin) while the
+// WAL still reaches back to it — a follower restoring it and replaying
+// the full tail reconstructs the leader's state through the identical
+// code path, which is what makes reads byte-identical — and falls back
+// to the current frozen snapshot once truncation has moved past the
+// origin (count-exact; entropy equal to the last ulp, the same
+// asymmetry as the leader's own checkpoint recovery).
+//
+// Replication status deliberately lives under /v1/replication, not in
+// the graph stats document: every /v1/graphs read surface stays
+// byte-identical between a leader and its caught-up followers, which is
+// the invariant the differential tests pin.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/uta-db/previewtables/internal/storage"
+)
+
+// epochHeader carries an epoch out of band: the durable epoch on wal
+// responses, the snapshot's epoch on checkpoint responses.
+const epochHeader = "X-Previewtables-Epoch"
+
+// leaderHeader names the leader on a follower's 503 write refusals.
+const leaderHeader = "X-Previewtables-Leader"
+
+// DefaultReplicationWait bounds the wal route's long poll; a follower's
+// request-level wait parameter can only shorten it.
+const DefaultReplicationWait = 25 * time.Second
+
+// replStatusDoc is the JSON body of GET /v1/replication/{graph}/status.
+// Pointer fields appear per role: a leader reports its durable epoch,
+// origin and horizon; a follower additionally reports its replication
+// loop's progress against the leader.
+type replStatusDoc struct {
+	Graph string `json:"graph"`
+	// Role is "leader" for a graph shipping its own WAL, "follower" for
+	// a replica applying a shipped one.
+	Role string `json:"role"`
+	// Epoch is the published epoch readers currently see.
+	Epoch uint64 `json:"epoch"`
+	// DurableEpoch is the WAL's last epoch — what a follower can reach.
+	DurableEpoch uint64 `json:"durable_epoch"`
+	// OriginEpoch is the epoch of the bootstrap state this process
+	// started from (see WithOrigin); present when an origin is held.
+	OriginEpoch *uint64 `json:"origin_epoch,omitempty"`
+	// Horizon is the lowest `from` the wal route can serve: records with
+	// epochs <= Horizon-1 may be truncated away. A follower at or above
+	// Horizon can tail; one below it must re-bootstrap.
+	Horizon uint64 `json:"horizon"`
+
+	// Leader, AppliedEpoch, LeaderEpoch, Lag and Resyncs describe a
+	// follower's replication loop (absent on leaders).
+	Leader       string  `json:"leader,omitempty"`
+	AppliedEpoch *uint64 `json:"applied_epoch,omitempty"`
+	LeaderEpoch  *uint64 `json:"leader_epoch,omitempty"`
+	Lag          *uint64 `json:"lag,omitempty"`
+	Resyncs      *uint64 `json:"resyncs,omitempty"`
+	Bootstraps   *uint64 `json:"bootstraps,omitempty"`
+	// Error is the replication loop's last failure, if it is currently
+	// failing (cleared by the next successful poll).
+	Error string `json:"error,omitempty"`
+}
+
+// handleReplication dispatches /v1/replication/{graph}/{action}.
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request, rest string) {
+	name, action, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || strings.Contains(action, "/") {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
+		return
+	}
+	gr, ok := s.reg.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q; see /v1/graphs", name))
+		return
+	}
+	switch action {
+	case "status", "wal", "checkpoint":
+	default:
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("no such replication action %q: want status, wal or checkpoint", action))
+		return
+	}
+	if !s.requireRead(w, r) {
+		return
+	}
+	// A volatile follower has replication status but no WAL of its own to
+	// ship; only the shipping routes require one.
+	src := gr.replSrc()
+	if src == nil && !(action == "status" && gr.FollowState() != nil) {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("graph %q is not replicated: it has no write-ahead log (previewd -mutable -wal-dir)", name))
+		return
+	}
+	switch action {
+	case "status":
+		s.handleReplStatus(w, gr, src)
+	case "wal":
+		s.handleReplWAL(w, r, gr, src)
+	case "checkpoint":
+		s.handleReplCheckpoint(w, gr, src)
+	}
+}
+
+// walRange reads the shippable bracket: the durable epoch and the lowest
+// `from` still on disk.
+func walRange(src *replSource) (horizon, durable uint64) {
+	durable, _ = src.wal.LastEpoch()
+	horizon = durable // empty log: only a caught-up follower can tail
+	if first, ok := src.wal.FirstEpoch(); ok {
+		horizon = first - 1
+	}
+	return horizon, durable
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, gr *Graph, src *replSource) {
+	doc := replStatusDoc{
+		Graph: gr.Name(),
+		Role:  "leader",
+		Epoch: gr.view().epoch,
+	}
+	if src != nil {
+		doc.Horizon, doc.DurableEpoch = walRange(src)
+		if src.origin != nil {
+			e := src.originEpoch
+			doc.OriginEpoch = &e
+		}
+	}
+	if st := gr.FollowState(); st != nil {
+		doc.Role = "follower"
+		doc.Leader = s.reg.Leader()
+		applied, leaderEpoch := st.AppliedEpoch, st.LeaderEpoch
+		doc.AppliedEpoch = &applied
+		doc.LeaderEpoch = &leaderEpoch
+		lag := uint64(0)
+		if leaderEpoch > applied {
+			lag = leaderEpoch - applied
+		}
+		doc.Lag = &lag
+		resyncs, bootstraps := st.Resyncs, st.Bootstraps
+		doc.Resyncs = &resyncs
+		doc.Bootstraps = &bootstraps
+		doc.Error = st.Err
+	}
+	s.writeJSON(w, doc)
+}
+
+// handleReplWAL ships records with epochs in (from, durable], long-polling
+// when the follower is caught up.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request, gr *Graph, src *replSource) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("from must be the last applied epoch: %v", err))
+		return
+	}
+	wait := s.replicationWait()
+	if ws := q.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", ws))
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		// Grab the broadcast channel BEFORE reading the durable epoch: a
+		// publish landing between the two closes the channel we hold, so
+		// the select below fires and the loop re-checks — the wake-up can
+		// never slip between the check and the wait.
+		changed := gr.epochChanged()
+		horizon, durable := walRange(src)
+		switch {
+		case from > durable:
+			s.writeError(w, http.StatusConflict, fmt.Errorf(
+				"follower epoch %d is ahead of the leader's durable epoch %d; the nodes have diverged", from, durable))
+			return
+		case from < horizon:
+			s.writeError(w, http.StatusGone, fmt.Errorf(
+				"epoch %d is behind the truncation horizon %d; bootstrap from /v1/replication/%s/checkpoint", from, horizon, gr.Name()))
+			return
+		case from < durable:
+			s.shipWAL(w, gr, src, from, durable)
+			return
+		}
+		// Caught up: wait for the next publish (records are durable
+		// strictly before their epoch publishes, so by the time the
+		// broadcast fires the record it announces is shippable).
+		select {
+		case <-changed:
+		case <-deadline.C:
+			w.Header().Set(epochHeader, strconv.FormatUint(durable, 10))
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK) // empty body: nothing new
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// maxShipRecords chunks one wal response: a follower far behind gets its
+// backlog in bounded pieces (it re-requests from its advanced cursor
+// immediately, since it is still behind the durable epoch), so the
+// leader never parses or buffers the whole history for one request.
+const maxShipRecords = 4096
+
+// shipWAL writes the records in (from, durable] in the shipped framing,
+// chunked at maxShipRecords.
+func (s *Server) shipWAL(w http.ResponseWriter, gr *Graph, src *replSource, from, durable uint64) {
+	recs, err := storage.ReadWALAfterN(src.wal.Dir(), from, maxShipRecords)
+	// Drop records past the durable cap: they may be mid-append, and a
+	// torn or damaged tail beyond the cap is not the follower's problem.
+	for len(recs) > 0 && recs[len(recs)-1].Epoch > durable {
+		recs = recs[:len(recs)-1]
+	}
+	// A full chunk is a complete answer even if a scan error lurks past
+	// it or the durable epoch is further ahead.
+	if err != nil && len(recs) < maxShipRecords && (len(recs) == 0 || recs[len(recs)-1].Epoch < durable) {
+		if errors.Is(err, fs.ErrNotExist) || errors.Is(err, storage.ErrCorrupt) {
+			// A checkpoint truncated segments between our horizon check and
+			// the read; the follower re-requests and gets the 410 properly.
+			s.writeError(w, http.StatusGone, fmt.Errorf(
+				"log moved while reading from epoch %d; retry (%v)", from, err))
+		} else {
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if len(recs) == 0 || recs[0].Epoch != from+1 {
+		s.writeError(w, http.StatusGone, fmt.Errorf(
+			"epoch %d is no longer contiguous with the log; bootstrap from /v1/replication/%s/checkpoint", from, gr.Name()))
+		return
+	}
+	w.Header().Set(epochHeader, strconv.FormatUint(durable, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var buf []byte
+	for _, rec := range recs {
+		buf = storage.AppendWALRecord(buf[:0], rec)
+		if _, err := w.Write(buf); err != nil {
+			return // follower went away; it will re-request from its cursor
+		}
+	}
+}
+
+// handleReplCheckpoint serves a bootstrap snapshot: the origin while the
+// WAL still reaches back to it, else the current frozen snapshot.
+func (s *Server) handleReplCheckpoint(w http.ResponseWriter, gr *Graph, src *replSource) {
+	horizon, durable := walRange(src)
+	if src.origin != nil && src.originEpoch >= horizon {
+		w.Header().Set(epochHeader, strconv.FormatUint(src.originEpoch, 10))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := storage.Write(w, src.origin); err != nil {
+			return // headers are out; the follower's decoder rejects the tear
+		}
+		return
+	}
+	live := gr.Live()
+	if live == nil { // unreachable: replSrc implies live
+		s.writeError(w, http.StatusInternalServerError, errors.New("replicated graph has no live facade"))
+		return
+	}
+	snap := live.Snapshot()
+	if snap.Epoch < horizon || snap.Epoch > durable {
+		// Published and durable state are reconciling (a write is between
+		// its log append and its publish); the follower just retries.
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("snapshot epoch %d outside shippable range [%d,%d]; retry", snap.Epoch, horizon, durable))
+		return
+	}
+	w.Header().Set(epochHeader, strconv.FormatUint(snap.Epoch, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = storage.Write(w, snap.Frozen)
+}
+
+// replicationWait returns the server's long-poll bound.
+func (s *Server) replicationWait() time.Duration {
+	if s.ReplicationWait > 0 {
+		return s.ReplicationWait
+	}
+	return DefaultReplicationWait
+}

@@ -1,0 +1,607 @@
+package service
+
+// Replication tests: the proof obligations of WAL shipping.
+//
+//   - the differential e2e test pins the headline invariant: a caught-up
+//     follower serves byte-identical bodies on every read endpoint,
+//     including after being killed and restarted from its local state;
+//   - the contiguity property pins the epoch discipline under
+//     interleaved writes, dropped connections and follower restarts;
+//   - the corruption tests pin that nothing damaged is ever published —
+//     a flipped byte mid-stream or mid-local-WAL costs a re-sync from
+//     the last good epoch, never a corrupt epoch;
+//   - the route-discipline table locks the unified 404/405/503 ordering
+//     across leader and follower modes.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/storage"
+)
+
+// followerNode is one follower "process": its own registry, HTTP server
+// and replication loop, resumable from ckptDir/walRoot.
+type followerNode struct {
+	reg *Registry
+	f   *Follower
+	ts  *httptest.Server
+}
+
+// startFollowerNode boots a follower of leaderURL with test-friendly
+// poll timings. Empty dirs mean a volatile follower.
+func startFollowerNode(t testing.TB, leaderURL, ckptDir, walRoot string, mut ...func(*FollowerOptions)) *followerNode {
+	t.Helper()
+	opts := FollowerOptions{
+		Leader:        leaderURL,
+		Walk:          score.DefaultWalkOptions(),
+		CheckpointDir: ckptDir,
+		WALRoot:       walRoot,
+		Wait:          150 * time.Millisecond,
+		Backoff:       5 * time.Millisecond,
+	}
+	for _, m := range mut {
+		m(&opts)
+	}
+	reg := NewRegistry()
+	f, err := StartFollower(reg, "fig1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	ts := httptest.NewServer(New(reg))
+	t.Cleanup(ts.Close)
+	return &followerNode{reg: reg, f: f, ts: ts}
+}
+
+// replBatches are self-contained, pairwise-independent write batches —
+// every edge fully typed, no edge repeated — so they can be applied
+// concurrently in any order and still leave leader and follower replays
+// byte-comparable (no multigraph dedup divergence).
+var replBatches = []struct{ route, body string }{
+	{"edges", `{"edges":[{"from":"Gattaca","rel":"Genres","from_type":"` + fig1.Film + `","to_type":"` + fig1.FilmGenre + `","to":"Science Fiction"}]}`},
+	{"edges", `{"edges":[{"from":"Andrew Niccol","rel":"Director","from_type":"` + fig1.FilmDirector + `","to_type":"` + fig1.Film + `","to":"Gattaca"}]}`},
+	{"triples", "type \"STUDIO\"\nentity \"Columbia Pictures\" \"STUDIO\"\n" +
+		"edge \"Columbia Pictures\" \"Produced By\" \"STUDIO\" \"" + fig1.Film + "\" \"Gattaca\"\n"},
+	{"edges", `{"edges":[{"from":"Uma Thurman","rel":"Actor","from_type":"` + fig1.FilmActor + `","to_type":"` + fig1.Film + `","to":"Gattaca"}]}`},
+	{"edges", `{"edges":[{"from":"Kill Bill","rel":"Genres","from_type":"` + fig1.Film + `","to_type":"` + fig1.FilmGenre + `","to":"Action Film"}]}`},
+	{"triples", "edge \"Uma Thurman\" \"Actor\" \"" + fig1.FilmActor + "\" \"" + fig1.Film + "\" \"Kill Bill\"\n"},
+}
+
+// replReadURLs is every read surface the differential test compares —
+// the /v1/graphs list, stats, JSON previews across measure pairs and
+// modes (with sampled tuples), and the markdown rendering.
+var replReadURLs = []string{
+	"/v1/graphs",
+	"/v1/graphs/fig1/stats",
+	"/v1/graphs/fig1/preview?k=2&n=3&tuples=3&key=coverage&nonkey=coverage",
+	"/v1/graphs/fig1/preview?k=3&n=6&tuples=2&key=coverage&nonkey=entropy",
+	"/v1/graphs/fig1/preview?k=2&n=4&mode=tight&d=2&key=walk&nonkey=entropy",
+	"/v1/graphs/fig1/render?k=2&n=3&tuples=3&key=coverage&nonkey=coverage&format=markdown",
+}
+
+// readSurfaces fetches urls, masking only the timing field (the one
+// legitimate difference between two runs).
+func readSurfaces(t testing.TB, base string, urls []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(urls))
+	for _, u := range urls {
+		resp, err := http.Get(base + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d body %s", u, resp.StatusCode, raw)
+		}
+		out[u] = elapsedRE.ReplaceAllString(string(raw), `"elapsed_ms":0`)
+	}
+	return out
+}
+
+func assertIdenticalReads(t *testing.T, what string, leader, follower map[string]string) {
+	t.Helper()
+	for u, want := range leader {
+		if got, ok := follower[u]; !ok || got != want {
+			t.Errorf("%s: GET %s diverged between leader and follower:\nleader:   %s\nfollower: %s", what, u, want, got)
+		}
+	}
+}
+
+// TestReplicationDifferential is the acceptance test: concurrent write
+// batches land on a live leader; a follower started with nothing but the
+// leader's address reaches the leader's epoch and serves byte-identical
+// bodies on every read endpoint; killing the follower and restarting it
+// from its local checkpoint + WAL preserves both properties, without
+// re-shipping history it already holds.
+func TestReplicationDifferential(t *testing.T) {
+	root := t.TempDir()
+	leader := startDurable(t, "", filepath.Join(root, "leader-wal"))
+
+	fCkpt := filepath.Join(root, "follower-ckpt")
+	fWAL := filepath.Join(root, "follower-wal")
+	if err := os.MkdirAll(fCkpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	node := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL)
+
+	// Concurrent writers: the batches are order-independent, so whatever
+	// order the leader serializes them in is the order the WAL ships.
+	var wg sync.WaitGroup
+	for _, b := range replBatches {
+		wg.Add(1)
+		go func(route, body string) {
+			defer wg.Done()
+			postBatch(t, leader.ts, route, body)
+		}(b.route, b.body)
+	}
+	wg.Wait()
+	wantEpoch := uint64(len(replBatches))
+	if got := leader.live.Snapshot().Epoch; got != wantEpoch {
+		t.Fatalf("leader epoch = %d, want %d", got, wantEpoch)
+	}
+	if err := node.f.WaitCaughtUp(wantEpoch, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalReads(t, "after catch-up",
+		readSurfaces(t, leader.ts.URL, replReadURLs), readSurfaces(t, node.ts.URL, replReadURLs))
+
+	// A write to the follower is redirected, not applied.
+	status, raw := post(t, node.ts.URL+"/v1/graphs/fig1/edges", replBatches[0].body)
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(raw), leader.ts.URL) {
+		t.Fatalf("follower write: status %d body %s, want 503 naming the leader", status, raw)
+	}
+	if got := node.f.Applied(); got != wantEpoch {
+		t.Fatalf("redirected write moved the follower to epoch %d", got)
+	}
+
+	// Kill the follower (SIGKILL-style: loop stopped, listener gone) and
+	// restart it from its own durable state.
+	node.f.Stop()
+	node.ts.Close()
+	node2 := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL)
+	if got := node2.f.Applied(); got != wantEpoch {
+		t.Fatalf("restarted follower resumed at epoch %d, want %d (local recovery)", got, wantEpoch)
+	}
+	if st := node2.f.Status(); st.Bootstraps != 0 {
+		t.Fatalf("restarted follower re-bootstrapped %d times; local state should have sufficed", st.Bootstraps)
+	}
+	assertIdenticalReads(t, "after follower restart",
+		readSurfaces(t, leader.ts.URL, replReadURLs), readSurfaces(t, node2.ts.URL, replReadURLs))
+
+	// The restarted follower still tails: one more leader batch arrives.
+	postBatch(t, leader.ts, "edges",
+		`{"edges":[{"from":"Kill Bill","rel":"Director","from_type":"FILM","to_type":"`+fig1.FilmDirector+`","to":"Quentin Tarantino"}]}`)
+	if err := node2.f.WaitCaughtUp(wantEpoch+1, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalReads(t, "after post-restart batch",
+		readSurfaces(t, leader.ts.URL, replReadURLs), readSurfaces(t, node2.ts.URL, replReadURLs))
+}
+
+// TestFollowerEpochContiguity is the property test: under interleaved
+// writes, a flaky transport that drops every third request, and a
+// follower kill/restart mid-stream, every epoch a follower instance
+// publishes is exactly its predecessor+1 — never a gap, never a repeat —
+// and a restarted instance resumes at most at its durable prefix, so the
+// union of published epochs is a contiguous prefix of the leader's.
+func TestFollowerEpochContiguity(t *testing.T) {
+	root := t.TempDir()
+	leader := startDurable(t, "", filepath.Join(root, "leader-wal"))
+	fCkpt := filepath.Join(root, "f-ckpt")
+	fWAL := filepath.Join(root, "f-wal")
+	if err := os.MkdirAll(fCkpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	const totalBatches = 24
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < totalBatches; i++ {
+			body := fmt.Sprintf(`{"edges":[{"from":"Film %03d","rel":"Genres","from_type":%q,"to_type":%q,"to":"Action Film"}]}`,
+				i, fig1.Film, fig1.FilmGenre)
+			postBatch(t, leader.ts, "edges", body)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var mu sync.Mutex
+	var sequences [][]uint64 // applied epochs per follower instance
+	record := func() func(uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		sequences = append(sequences, nil)
+		i := len(sequences) - 1
+		return func(e uint64) {
+			mu.Lock()
+			defer mu.Unlock()
+			sequences[i] = append(sequences[i], e)
+		}
+	}
+
+	flaky := func(o *FollowerOptions) {
+		n := 0
+		var fmu sync.Mutex
+		o.Client = &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+			fmu.Lock()
+			n++
+			drop := n%3 == 0
+			fmu.Unlock()
+			if drop {
+				return nil, fmt.Errorf("injected disconnect")
+			}
+			return http.DefaultTransport.RoundTrip(r)
+		})}
+	}
+
+	onApply := record()
+	node := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL, flaky,
+		func(o *FollowerOptions) { o.OnApply = onApply })
+	// Kill it somewhere mid-stream.
+	if err := node.f.WaitCaughtUp(totalBatches/3, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	node.f.Stop()
+	node.ts.Close()
+	resumedAt := node.f.Applied()
+
+	onApply2 := record()
+	node2 := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL, flaky,
+		func(o *FollowerOptions) { o.OnApply = onApply2 })
+	if got := node2.f.Applied(); got > resumedAt {
+		t.Fatalf("restarted follower at epoch %d, ahead of the killed instance's %d", got, resumedAt)
+	}
+	wg.Wait()
+	if err := node2.f.WaitCaughtUp(totalBatches, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	high := uint64(0)
+	for i, seq := range sequences {
+		for j := 1; j < len(seq); j++ {
+			if seq[j] != seq[j-1]+1 {
+				t.Fatalf("instance %d published a non-contiguous epoch: %d after %d (sequence %v)", i, seq[j], seq[j-1], seq)
+			}
+		}
+		if len(seq) > 0 {
+			if first := seq[0]; first > high+1 {
+				t.Fatalf("instance %d started at epoch %d, leaving a gap after %d", i, first, high)
+			}
+			if last := seq[len(seq)-1]; last > high {
+				high = last
+			}
+		}
+	}
+	if high != totalBatches {
+		t.Fatalf("followers reached epoch %d, want %d", high, totalBatches)
+	}
+	assertIdenticalReads(t, "after contiguity run",
+		readSurfaces(t, leader.ts.URL, replReadURLs), readSurfaces(t, node2.ts.URL, replReadURLs))
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestFollowerRejectsCorruptStream: a byte flipped in flight fails the
+// record checksum; the follower drops the stream, publishes nothing from
+// it, re-syncs from its last good epoch, and still converges to
+// byte-identical reads.
+func TestFollowerRejectsCorruptStream(t *testing.T) {
+	root := t.TempDir()
+	leader := startDurable(t, "", filepath.Join(root, "leader-wal"))
+	srv := leader.srv
+
+	var pmu sync.Mutex
+	corrupted := 0
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, r)
+		body := rr.Body.Bytes()
+		pmu.Lock()
+		if corrupted == 0 && strings.Contains(r.URL.Path, "/wal") && len(body) > 8 && rr.Code == http.StatusOK {
+			body[len(body)/2] ^= 0xff
+			corrupted++
+		}
+		pmu.Unlock()
+		for k, vs := range rr.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rr.Code)
+		w.Write(body)
+	}))
+	defer proxy.Close()
+
+	for _, b := range replBatches[:4] {
+		postBatch(t, leader.ts, b.route, b.body)
+	}
+	node := startFollowerNode(t, proxy.URL, "", "")
+	if err := node.f.WaitCaughtUp(4, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pmu.Lock()
+	hits := corrupted
+	pmu.Unlock()
+	if hits == 0 {
+		t.Fatal("the corrupting proxy never fired; the test proved nothing")
+	}
+	if st := node.f.Status(); st.Resyncs == 0 {
+		t.Fatalf("follower converged without re-syncing (status %+v); the corrupt stream was accepted?", st)
+	}
+	assertIdenticalReads(t, "after corrupt stream",
+		readSurfaces(t, leader.ts.URL, replReadURLs), readSurfaces(t, node.ts.URL, replReadURLs))
+}
+
+// TestFollowerLocalWALCorruption: damage in the follower's own WAL
+// shrinks its recoverable prefix; restart must recover to the last good
+// epoch (ErrCorrupt discipline, never a corrupt publish) and re-ship the
+// difference from the leader, converging to byte-identical reads.
+func TestFollowerLocalWALCorruption(t *testing.T) {
+	root := t.TempDir()
+	leader := startDurable(t, "", filepath.Join(root, "leader-wal"))
+	fCkpt := filepath.Join(root, "f-ckpt")
+	fWAL := filepath.Join(root, "f-wal")
+	if err := os.MkdirAll(fCkpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, b := range replBatches {
+		postBatch(t, leader.ts, b.route, b.body)
+	}
+	node := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL)
+	wantEpoch := uint64(len(replBatches))
+	if err := node.f.WaitCaughtUp(wantEpoch, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	node.f.Stop()
+	node.ts.Close()
+
+	// Flip a byte in the middle of the follower's local log: the valid
+	// prefix now ends somewhere before wantEpoch.
+	segs, err := filepath.Glob(filepath.Join(fWAL, "fig1", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no follower segments: %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, replayErr := storage.ReplayWAL(filepath.Join(fWAL, "fig1"))
+	if replayErr == nil || len(recs) >= int(wantEpoch) {
+		t.Fatalf("corruption did not shrink the prefix: %d records, err %v", len(recs), replayErr)
+	}
+
+	node2 := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL)
+	if got := node2.f.Applied(); got > wantEpoch {
+		t.Fatalf("follower recovered past its valid prefix: epoch %d", got)
+	}
+	if err := node2.f.WaitCaughtUp(wantEpoch, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalReads(t, "after local WAL corruption",
+		readSurfaces(t, leader.ts.URL, replReadURLs), readSurfaces(t, node2.ts.URL, replReadURLs))
+
+	// And a further restart proves the re-synced local log is coherent.
+	node2.f.Stop()
+	node2.ts.Close()
+	node3 := startFollowerNode(t, leader.ts.URL, fCkpt, fWAL)
+	if got := node3.f.Applied(); got != wantEpoch {
+		t.Fatalf("post-resync restart at epoch %d, want %d", got, wantEpoch)
+	}
+}
+
+// TestFollowerRebootstrapPastHorizon: a leader checkpoint truncates the
+// WAL, so a cold follower's from=0 is behind the horizon. Bootstrap must
+// fall back to the current snapshot (410 → checkpoint route) and tailing
+// continues from there. Count-backed surfaces stay byte-identical; the
+// entropy preview is excluded, as in the leader's own checkpoint
+// recovery (the snapshot canonicalizes edge order, so the incremental
+// entropy aggregate is equal only to the last ulp).
+func TestFollowerRebootstrapPastHorizon(t *testing.T) {
+	root := t.TempDir()
+	ckptDir := filepath.Join(root, "leader-ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	leader := startDurable(t, ckptDir, filepath.Join(root, "leader-wal"))
+	for _, b := range replBatches[:4] {
+		postBatch(t, leader.ts, b.route, b.body)
+	}
+	snap := leader.live.Snapshot()
+	ck := storage.NewDurableCheckpointer(ckptDir, "fig1", leader.wal)
+	if wrote, err := ck.Save(snap.Frozen, snap.Epoch); err != nil || !wrote {
+		t.Fatalf("leader checkpoint: wrote=%v err=%v", wrote, err)
+	}
+	if _, ok := leader.wal.FirstEpoch(); ok {
+		t.Fatal("checkpoint did not truncate the leader WAL; the horizon test is vacuous")
+	}
+
+	node := startFollowerNode(t, leader.ts.URL, "", "")
+	if got := node.f.Applied(); got != 4 {
+		t.Fatalf("cold follower bootstrapped at epoch %d, want 4 (current snapshot)", got)
+	}
+	for _, b := range replBatches[4:] {
+		postBatch(t, leader.ts, b.route, b.body)
+	}
+	wantEpoch := uint64(len(replBatches))
+	if err := node.f.WaitCaughtUp(wantEpoch, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	countBacked := []string{
+		"/v1/graphs",
+		"/v1/graphs/fig1/stats",
+		"/v1/graphs/fig1/preview?k=2&n=3&tuples=3&key=coverage&nonkey=coverage",
+		"/v1/graphs/fig1/render?k=2&n=3&tuples=3&key=coverage&nonkey=coverage&format=markdown",
+	}
+	assertIdenticalReads(t, "after horizon bootstrap",
+		readSurfaces(t, leader.ts.URL, countBacked), readSurfaces(t, node.ts.URL, countBacked))
+	if st := node.f.Status(); st.Bootstraps != 1 {
+		t.Fatalf("bootstraps = %d, want 1", st.Bootstraps)
+	}
+}
+
+// TestReplicationStatusDoc pins the status endpoint's shape per role.
+func TestReplicationStatusDoc(t *testing.T) {
+	root := t.TempDir()
+	leader := startDurable(t, "", filepath.Join(root, "leader-wal"))
+	for _, b := range replBatches[:2] {
+		postBatch(t, leader.ts, b.route, b.body)
+	}
+	var ls replStatusDoc
+	if st := getJSON(t, leader.ts.URL+"/v1/replication/fig1/status", &ls); st != http.StatusOK {
+		t.Fatalf("leader status: %d", st)
+	}
+	if ls.Role != "leader" || ls.Epoch != 2 || ls.DurableEpoch != 2 || ls.Horizon != 0 {
+		t.Fatalf("leader status doc %+v", ls)
+	}
+	if ls.OriginEpoch == nil || *ls.OriginEpoch != 0 {
+		t.Fatalf("leader origin epoch %v, want 0", ls.OriginEpoch)
+	}
+
+	node := startFollowerNode(t, leader.ts.URL, "", "")
+	if err := node.f.WaitCaughtUp(2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var fs replStatusDoc
+	if st := getJSON(t, node.ts.URL+"/v1/replication/fig1/status", &fs); st != http.StatusOK {
+		t.Fatalf("follower status: %d", st)
+	}
+	if fs.Role != "follower" || fs.Leader != leader.ts.URL {
+		t.Fatalf("follower status doc %+v", fs)
+	}
+	if fs.AppliedEpoch == nil || *fs.AppliedEpoch != 2 || fs.Lag == nil || *fs.Lag != 0 {
+		t.Fatalf("follower progress %+v", fs)
+	}
+}
+
+// TestReplicationRouteDiscipline is the shared table locking the
+// 404/405/503 ordering across leader-static, leader-mutable and follower
+// modes: resource existence first (404 whatever the method), then the
+// route's true method set (405 with an accurate Allow — empty when the
+// route supports no method at all), then writability (503 naming the
+// leader on a replica).
+func TestReplicationRouteDiscipline(t *testing.T) {
+	root := t.TempDir()
+	leader := startDurable(t, "", filepath.Join(root, "leader-wal")) // mutable durable leader
+	_, staticTS := newTestServer(t)                                  // static read-only graph
+	follower := startFollowerNode(t, leader.ts.URL, "", "")
+
+	type want struct {
+		status int
+		allow  *string // nil = not asserted; non-nil must match exactly
+		leader bool    // X-Previewtables-Leader must name the leader
+	}
+	str := func(s string) *string { return &s }
+	cases := []struct {
+		name   string
+		ts     *httptest.Server
+		method string
+		path   string
+		want   want
+	}{
+		// Resource existence beats method on every server.
+		{"static unknown graph", staticTS, "DELETE", "/v1/graphs/nope/edges", want{status: 404}},
+		{"mutable unknown graph", leader.ts, "DELETE", "/v1/graphs/nope/edges", want{status: 404}},
+		{"follower unknown graph", follower.ts, "POST", "/v1/graphs/nope/edges", want{status: 404}},
+		{"unknown action", leader.ts, "POST", "/v1/graphs/fig1/explode", want{status: 404}},
+		{"unknown replication action", leader.ts, "GET", "/v1/replication/fig1/explode", want{status: 404}},
+		{"replication unknown graph", leader.ts, "GET", "/v1/replication/nope/status", want{status: 404}},
+		{"replication of static graph", staticTS, "GET", "/v1/replication/fig1/status", want{status: 404}},
+		// Read routes allow GET, HEAD everywhere.
+		{"static read wrong method", staticTS, "POST", "/v1/graphs/fig1/stats", want{status: 405, allow: str("GET, HEAD")}},
+		{"follower read wrong method", follower.ts, "POST", "/v1/graphs/fig1/stats", want{status: 405, allow: str("GET, HEAD")}},
+		{"replication wrong method", leader.ts, "POST", "/v1/replication/fig1/status", want{status: 405, allow: str("GET, HEAD")}},
+		// A read-only graph's write routes support no method at all.
+		{"static write POST", staticTS, "POST", "/v1/graphs/fig1/edges", want{status: 405, allow: str("")}},
+		{"static write GET", staticTS, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("")}},
+		{"static write DELETE", staticTS, "DELETE", "/v1/graphs/fig1/triples", want{status: 405, allow: str("")}},
+		// A mutable graph's write routes are POST-only.
+		{"mutable write GET", leader.ts, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("POST")}},
+		{"mutable write PUT", leader.ts, "PUT", "/v1/graphs/fig1/triples", want{status: 405, allow: str("POST")}},
+		// A follower's write routes exist and are POST-only, but POST is
+		// the leader's to accept.
+		{"follower write GET", follower.ts, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("POST")}},
+		{"follower write POST", follower.ts, "POST", "/v1/graphs/fig1/edges", want{status: 503, leader: true}},
+		{"follower triples POST", follower.ts, "POST", "/v1/graphs/fig1/triples", want{status: 503, leader: true}},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, tc.ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want.status {
+			t.Errorf("%s: %s %s = %d, want %d", tc.name, tc.method, tc.path, resp.StatusCode, tc.want.status)
+		}
+		if tc.want.allow != nil {
+			allow, present := resp.Header["Allow"]
+			if !present || len(allow) != 1 || allow[0] != *tc.want.allow {
+				t.Errorf("%s: Allow = %v (present %v), want %q", tc.name, allow, present, *tc.want.allow)
+			}
+		}
+		if tc.want.leader {
+			if got := resp.Header.Get(leaderHeader); got != leader.ts.URL {
+				t.Errorf("%s: %s = %q, want %q", tc.name, leaderHeader, got, leader.ts.URL)
+			}
+		}
+	}
+}
+
+// BenchmarkFollowerCatchup measures a cold follower: bootstrap from the
+// leader's origin checkpoint plus tail-follow of a 100-batch WAL, to the
+// moment the follower has published the leader's epoch.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	root := b.TempDir()
+	leader := startDurable(b, "", filepath.Join(root, "leader-wal"))
+	const batches = 100
+	for i := 0; i < batches; i++ {
+		body := fmt.Sprintf(`{"edges":[{"from":"Film %03d","rel":"Genres","from_type":%q,"to_type":%q,"to":"Action Film"}]}`,
+			i, fig1.Film, fig1.FilmGenre)
+		postBatch(b, leader.ts, "edges", body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := NewRegistry()
+		f, err := StartFollower(reg, "fig1", FollowerOptions{
+			Leader: leader.ts.URL,
+			Walk:   score.DefaultWalkOptions(),
+			Wait:   150 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.WaitCaughtUp(batches, 60*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		f.Stop()
+	}
+}

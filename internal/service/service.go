@@ -22,6 +22,13 @@ import (
 //	GET  /v1/graphs/{name}/render?...      optimal preview as text/markdown
 //	POST /v1/graphs/{name}/edges           apply a JSON edge batch (mutable graphs)
 //	POST /v1/graphs/{name}/triples         apply a native-format triple batch
+//	GET  /v1/replication/{name}/...        WAL shipping (see replication.go)
+//
+// Error ordering is uniform across routes: an unknown route, graph or
+// action answers 404 whatever the method; a known route with a method
+// outside its set answers 405 with an accurate Allow (empty on a
+// read-only graph's write routes — they support no method at all); a
+// method-correct write on a follower answers 503 naming the leader.
 //
 // preview and render accept k, n, mode (concise|tight|diverse), d, key
 // (coverage|walk), nonkey (coverage|entropy), tuples and rep parameters;
@@ -46,6 +53,11 @@ type Server struct {
 
 	// MaxBodyBytes caps a write request's body size (413 beyond it).
 	MaxBodyBytes int64
+
+	// ReplicationWait bounds the WAL-shipping route's long poll (0 =
+	// DefaultReplicationWait). A follower's wait parameter can shorten
+	// one request's wait but never lengthen it past this bound.
+	ReplicationWait time.Duration
 }
 
 // DefaultSearchBudget bounds tight/diverse candidate generation per
@@ -126,6 +138,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleList(w)
 	case strings.HasPrefix(path, "/v1/graphs/"):
 		s.handleGraph(w, r, strings.TrimPrefix(path, "/v1/graphs/"))
+	case strings.HasPrefix(path, "/v1/replication/"):
+		s.handleReplication(w, r, strings.TrimPrefix(path, "/v1/replication/"))
 	default:
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", path))
 	}
@@ -141,14 +155,38 @@ func (s *Server) requireRead(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// requireWrite admits POST, answering anything else with 405.
-func (s *Server) requireWrite(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method == http.MethodPost {
-		return true
+// requireWritable gates the write routes with one fixed ordering, shared
+// by leader and follower modes (resource existence — the 404s — was
+// already settled by the caller):
+//
+//  1. a read-only graph's write routes support no method at all, so any
+//     method answers 405 with a deliberately empty Allow (RFC 9110
+//     permits an empty list to say exactly that) — previously a GET here
+//     advertised Allow: POST while POST itself was refused;
+//  2. on a writable graph, a non-POST method answers 405 with Allow: POST;
+//  3. a well-formed write to a follower answers 503 naming the leader in
+//     the X-Previewtables-Leader header: the method exists and the graph
+//     is mutable, but this node only accepts writes from the replication
+//     stream — 503 (not 405) so clients retry against the leader.
+func (s *Server) requireWritable(w http.ResponseWriter, r *http.Request, gr *Graph) bool {
+	if !gr.Mutable() {
+		w.Header().Set("Allow", "")
+		s.writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("graph %q is read-only; register it mutable (previewd -mutable) to accept writes", gr.Name()))
+		return false
 	}
-	w.Header().Set("Allow", "POST")
-	s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
-	return false
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	if leader := s.reg.Leader(); leader != "" {
+		w.Header().Set(leaderHeader, leader)
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("graph %q is a read replica; write to the leader at %s", gr.Name(), leader))
+		return false
+	}
+	return true
 }
 
 // handleGraph dispatches /v1/graphs/{name}/{action}.
@@ -177,11 +215,11 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string
 			s.handleRender(w, r, gr)
 		}
 	case "edges":
-		if s.requireWrite(w, r) {
+		if s.requireWritable(w, r, gr) {
 			s.handleEdges(w, r, gr)
 		}
 	case "triples":
-		if s.requireWrite(w, r) {
+		if s.requireWritable(w, r, gr) {
 			s.handleTriples(w, r, gr)
 		}
 	default:

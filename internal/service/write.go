@@ -6,7 +6,10 @@ package service
 //	POST /v1/graphs/{name}/triples   native triple-format batch (text)
 //
 // Both routes require the graph to be registered mutable (previewd
-// -mutable); writes to a static graph fail with 405. A batch is atomic:
+// -mutable); writes to a static graph fail with 405, and writes to a
+// read replica (previewd -follow) with 503 naming the leader — the
+// ordering and Allow discipline live in Server.requireWritable. A batch
+// is atomic:
 // it is fully validated before the live graph is touched, applies as one
 // mutation, bumps the epoch by exactly one, and triggers exactly one
 // incremental score refresh. Failed batches mutate nothing and publish no
@@ -87,20 +90,6 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return body, true
 }
 
-// requireMutable rejects writes to graphs registered without -mutable.
-// The Allow header is deliberately empty: a read-only graph's write
-// routes support no method at all (GET on them is also 405), and RFC
-// 9110 allows an empty Allow list to say exactly that.
-func (s *Server) requireMutable(w http.ResponseWriter, gr *Graph) bool {
-	if gr.Mutable() {
-		return true
-	}
-	w.Header().Set("Allow", "")
-	s.writeError(w, http.StatusMethodNotAllowed,
-		fmt.Errorf("graph %q is read-only; register it mutable (previewd -mutable) to accept writes", gr.Name()))
-	return false
-}
-
 // finishMutation publishes the batch's snapshot as the graph's current
 // view and answers with the new epoch.
 func (s *Server) finishMutation(w http.ResponseWriter, gr *Graph, snap *dynamic.Snapshot, applied int, start time.Time) {
@@ -130,9 +119,6 @@ func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
 // handleEdges applies a JSON edge batch to a mutable graph.
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, gr *Graph) {
 	start := time.Now()
-	if !s.requireMutable(w, gr) {
-		return
-	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -312,9 +298,6 @@ func (s liveSink) Edge(from, to graph.EntityID, rel graph.RelTypeID) error {
 // the graph is touched.
 func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request, gr *Graph) {
 	start := time.Now()
-	if !s.requireMutable(w, gr) {
-		return
-	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -115,6 +116,70 @@ func FuzzReplayWAL(f *testing.F) {
 		again, err2 := storage.ReplayWAL(dir)
 		if (err == nil) != (err2 == nil) || len(again) != len(recs) {
 			t.Fatalf("replay not deterministic: %d/%v vs %d/%v", len(recs), err, len(again), err2)
+		}
+	})
+}
+
+// FuzzWALStream is the shipped-stream decoder's robustness contract —
+// the replication twin of FuzzReplayWAL. For arbitrary wire bytes,
+// WALStreamReader must never panic; every failure must classify as
+// ErrCorrupt (an in-memory stream has no transport errors); accepted
+// records must be epoch-contiguous; and decoding must be idempotent:
+// re-encoding the accepted prefix with EncodeWALRecord and decoding it
+// again yields the same records with no error, so a follower relaying a
+// feed downstream cannot alter it.
+func FuzzWALStream(f *testing.F) {
+	var valid []byte
+	for e := uint64(1); e <= 4; e++ {
+		valid = append(valid, storage.EncodeWALRecord(storage.WALRecord{
+			Epoch: e, Kind: byte(e), Payload: bytes.Repeat([]byte{byte(e)}, int(e)*7),
+		})...)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2]) // torn mid-record
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{0x00})                                 // zero-length record stub
+	f.Add(storage.EncodeWALRecord(storage.WALRecord{})) // epoch 0, empty payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeAll := func(stream []byte) ([]storage.WALRecord, error) {
+			sr := storage.NewWALStreamReader(bytes.NewReader(stream))
+			var recs []storage.WALRecord
+			for {
+				rec, err := sr.Next()
+				if err == io.EOF {
+					return recs, nil
+				}
+				if err != nil {
+					return recs, err
+				}
+				recs = append(recs, rec)
+			}
+		}
+		recs, err := decodeAll(data)
+		if err != nil && !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("unclassified stream error: %v", err)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Epoch != recs[i-1].Epoch+1 {
+				t.Fatalf("stream accepted an epoch gap: %d after %d", recs[i].Epoch, recs[i-1].Epoch)
+			}
+		}
+		var reenc []byte
+		for _, r := range recs {
+			reenc = append(reenc, storage.EncodeWALRecord(r)...)
+		}
+		again, err2 := decodeAll(reenc)
+		if err2 != nil || len(again) != len(recs) {
+			t.Fatalf("re-encoded prefix does not decode cleanly: %d/%v vs %d", len(again), err2, len(recs))
+		}
+		for i := range recs {
+			if again[i].Epoch != recs[i].Epoch || again[i].Kind != recs[i].Kind || !bytes.Equal(again[i].Payload, recs[i].Payload) {
+				t.Fatalf("record %d changed across re-encode: %+v vs %+v", i, again[i], recs[i])
+			}
 		}
 	})
 }

@@ -324,20 +324,9 @@ func (w *WAL) Append(epoch uint64, kind byte, payload []byte) error {
 		}
 	}
 
-	var hdr [2*binary.MaxVarintLen64 + 1]byte
-	bn := binary.PutUvarint(hdr[:], epoch)
-	hdr[bn] = kind
-	bodyLen := bn + 1 + len(payload)
-
-	buf := make([]byte, 0, binary.MaxVarintLen64+bodyLen+4)
-	var lenBuf [binary.MaxVarintLen64]byte
-	buf = append(buf, lenBuf[:binary.PutUvarint(lenBuf[:], uint64(bodyLen))]...)
-	buf = append(buf, hdr[:bn+1]...)
-	buf = append(buf, payload...)
-	sum := crc32.Checksum(buf, castagnoli)
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], sum)
-	buf = append(buf, crc[:]...)
+	// Shared with EncodeWALRecord: the bytes in a segment are the bytes a
+	// replication stream ships, by construction.
+	buf := encodeWALRecord(nil, epoch, kind, payload)
 
 	if _, err := w.f.Write(buf); err != nil {
 		w.err = fmt.Errorf("storage: WAL append: %w", err)
