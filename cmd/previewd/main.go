@@ -82,6 +82,7 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint mutated graphs to -checkpoint-dir")
 	walDir := flag.String("wal-dir", "", "with -mutable: directory for per-graph write-ahead logs; every batch is logged and fsynced before its epoch is acknowledged, and startup replays checkpoint + WAL tail to resume at the exact pre-crash epoch")
 	follow := flag.String("follow", "", "run as a read replica of the leader previewd at this base URL: its replicated graphs are bootstrapped and tail-followed over WAL shipping, writes here answer 503 naming the leader; add -wal-dir and -checkpoint-dir to make the replica durable (restart resumes from local state)")
+	noRespCache := flag.Bool("no-response-cache", false, "disable the epoch-keyed response cache: every read renders cold (ETags and conditional GETs still work; useful for measuring the cache's effect)")
 	var loads []func() (string, *previewtables.EntityGraph, error) // deferred so -scale applies regardless of flag order
 	flag.Func("graph", "register a graph: name=path (repeatable; format by extension)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -231,9 +232,11 @@ func main() {
 		go checkpointLoop(reg, *ckptDir, *ckptEvery, wals, ckpts)
 	}
 
+	handler := service.New(reg)
+	handler.NoCache = *noRespCache
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      service.New(reg),
+		Handler:      handler,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}

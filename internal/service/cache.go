@@ -1,0 +1,302 @@
+package service
+
+// Response cache: the serving-layer consequence of the replication
+// work's byte-identity proof. Within one epoch every read body is a pure
+// function of (graph, epoch, endpoint, canonicalized params) — PR 5's
+// differential tests assert it literally across processes — so there is
+// no reason to re-discover, re-render and re-serialize JSON per request.
+// This file caches the exact serialized bytes of the first rendering and
+// serves them to every later request at the same key.
+//
+// Invalidation is implicit: per-graph entries live inside the epoch view
+// (registry.go), so a view swap — a leader write batch or a follower's
+// ApplyShipped, both of which publish through Graph.publish — abandons
+// the whole map to the garbage collector along with the old snapshot.
+// Nothing is ever deleted eagerly and no generation counters exist; the
+// epoch in the key IS the invalidation. The /v1/graphs listing spans
+// graphs, so it gets a one-slot cache keyed by the composite (name,
+// epoch) vector of every registered graph (listCache).
+//
+// Misses are deduplicated singleflight-style, like the Discoverer cache:
+// a thundering herd racing for one uncached key performs one discovery +
+// render while everyone else blocks for the finished bytes. Failed
+// builds are never cached — errors are cheap to recompute and must not
+// shadow a later success (the search budget, for one, is configurable).
+//
+// ETags are epoch-derived and strong: a hash of (graph, epoch, mutable,
+// endpoint, canonical params). Two consequences fall out of bodies being
+// pure functions of that tuple. First, a conditional GET whose
+// If-None-Match carries the current tag can be answered 304 before
+// touching the cache — the tag alone proves the client's copy is the
+// current representation, because tags are minted only by successful
+// renders and change with the epoch. Second, a leader and a caught-up
+// follower mint identical tags, so validators survive failover between
+// byte-identical replicas. The "*" form is deliberately excluded from
+// the pre-render fast path: it asserts "any current representation
+// exists", which cannot be known without rendering (a request can be
+// well-formed yet 422), so it is honored only after a successful build.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// elapsedHeader carries the wall time one request actually cost, in
+// milliseconds. It replaces the old elapsed_ms body field: timing is a
+// per-request datum, and keeping it in the body would make two renders
+// of the same epoch differ — destroying both the cache's byte-identity
+// contract and the replication differential's literal comparison.
+const elapsedHeader = "X-Previewtables-Elapsed"
+
+// cacheEntry is one immutable rendered response: the exact bytes of a
+// 200 body plus the headers that describe them. Entries are never
+// mutated after construction, so serving one concurrently is safe
+// without copies.
+type cacheEntry struct {
+	contentType string
+	etag        string
+	body        []byte
+}
+
+// respSlot is the singleflight slot for one cache key: the goroutine
+// that created the slot builds, everyone else blocks on done. Exactly
+// one of ent/err is set when done closes.
+type respSlot struct {
+	done chan struct{}
+	ent  *cacheEntry
+	err  error
+}
+
+// maxCachedResponses bounds one view's response cache. The parameter
+// space is capped (maxK × maxN × modes × measures × tuples), but its
+// product is large enough that an adversarial scan could otherwise pin
+// a view's memory; past the bound, requests still build (deduplicated)
+// but the result is not retained.
+const maxCachedResponses = 4096
+
+// responseCacher is the shape serveCached needs: the per-view map and
+// the cross-graph listing slot both implement it.
+type responseCacher interface {
+	// cachedResponse returns the entry for key, building at most once
+	// per key however many requests race. The bool reports whether the
+	// caller was served from cache (false for the builder itself).
+	cachedResponse(key string, build func() (*cacheEntry, error)) (*cacheEntry, bool, error)
+}
+
+// cachedResponse implements responseCacher on the epoch view. The view
+// is the unit of invalidation: a published epoch installs a fresh view
+// with an empty map, so entries for dead epochs are unreachable the
+// moment the swap lands, even for requests already holding the old view
+// (they serve the old epoch consistently, which is the read contract —
+// a request started at epoch e keeps e throughout).
+func (v *view) cachedResponse(key string, build func() (*cacheEntry, error)) (*cacheEntry, bool, error) {
+	v.respMu.Lock()
+	if v.resp == nil {
+		v.resp = make(map[string]*respSlot)
+	}
+	if slot, ok := v.resp[key]; ok {
+		v.respMu.Unlock()
+		<-slot.done
+		return slot.ent, true, slot.err
+	}
+	slot := &respSlot{done: make(chan struct{})}
+	evict := len(v.resp) >= maxCachedResponses
+	v.resp[key] = slot
+	v.respMu.Unlock()
+	slot.ent, slot.err = build()
+	close(slot.done)
+	if slot.err != nil || evict {
+		v.respMu.Lock()
+		if v.resp[key] == slot {
+			delete(v.resp, key)
+		}
+		v.respMu.Unlock()
+	}
+	return slot.ent, false, slot.err
+}
+
+// etagScope is the graph-identity half of an ETag and cache key: who the
+// graph is and which epoch is being represented. Static graphs never
+// change, so their scope is constant for the process lifetime.
+func (v *view) etagScope(name string) string {
+	return fmt.Sprintf("%s|%d|%t", name, v.epoch, v.mutable)
+}
+
+// listCache caches the single current /v1/graphs rendering. The key is
+// the composite scope over every registered graph's (name, epoch), so
+// any graph's epoch swap implicitly invalidates it; only the newest key
+// is retained — the listing has one current representation, and stale
+// epochs' entries would be dead weight.
+type listCache struct {
+	mu   sync.Mutex
+	key  string
+	slot *respSlot
+}
+
+func (c *listCache) cachedResponse(key string, build func() (*cacheEntry, error)) (*cacheEntry, bool, error) {
+	c.mu.Lock()
+	if c.slot != nil && c.key == key {
+		slot := c.slot
+		c.mu.Unlock()
+		<-slot.done
+		return slot.ent, true, slot.err
+	}
+	slot := &respSlot{done: make(chan struct{})}
+	c.slot, c.key = slot, key
+	c.mu.Unlock()
+	slot.ent, slot.err = build()
+	close(slot.done)
+	if slot.err != nil {
+		c.mu.Lock()
+		if c.slot == slot {
+			c.slot = nil
+		}
+		c.mu.Unlock()
+	}
+	return slot.ent, false, slot.err
+}
+
+// etagFor mints the strong ETag for one (scope, key) pair. Minting is a
+// pure function, which is what makes the pre-render 304 fast path and
+// cross-replica validator stability work; the hash keeps graph names and
+// parameters out of the wire format and makes the tag's length uniform.
+func etagFor(scope, key string) string {
+	sum := sha256.Sum256([]byte(scope + "\x00" + key))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatches reports whether an If-None-Match header names etag. Weak
+// comparison (RFC 9110 §8.8.3.2): a W/ prefix is ignored, so a client
+// that downgraded the tag still revalidates successfully. The "*" form
+// is NOT handled here — see the file comment; callers decide it with
+// knowledge of whether a representation exists.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		t := strings.TrimSpace(part)
+		t = strings.TrimPrefix(t, "W/")
+		if t == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// httpError pairs a build failure with the status it maps to, so error
+// mapping survives the trip through a build closure.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// marshalJSONBody serializes one document exactly as writeJSON streams
+// it (no HTML escaping, trailing newline), so cached bodies are
+// byte-identical to what the uncached encoder would have produced.
+func marshalJSONBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// serveCached answers one read request from cache: mint the ETag, try
+// the conditional fast path, then look up (or build) the rendered bytes
+// and write them with full conditional-GET and HEAD semantics. All four
+// read surfaces (list, stats, preview, render) funnel through here, so
+// the header discipline — ETag, Content-Type, Content-Length, elapsed —
+// is uniform by construction.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, scope, key string, cache responseCacher, build func() (*cacheEntry, error)) {
+	start := time.Now()
+	etag := etagFor(scope, key)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm != "*" && etagMatches(inm, etag) {
+		// The client already holds this epoch's bytes: 304 without
+		// rendering, looking up, or even holding the cache lock.
+		s.cacheHits.Add(1)
+		h := w.Header()
+		h.Set("ETag", etag)
+		setElapsed(h, start)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	sealed := func() (*cacheEntry, error) {
+		ent, err := build()
+		if err != nil {
+			return nil, err
+		}
+		ent.etag = etag
+		return ent, nil
+	}
+	var (
+		ent *cacheEntry
+		hit bool
+		err error
+	)
+	if s.NoCache {
+		ent, err = sealed()
+	} else {
+		ent, hit, err = cache.cachedResponse(key, sealed)
+	}
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			s.writeError(w, he.status, he.err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if hit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	h := w.Header()
+	h.Set("ETag", ent.etag)
+	h.Set("Content-Type", ent.contentType)
+	setElapsed(h, start)
+	// Post-build conditional check: covers "*" (a representation
+	// provably exists now) and clients that raced the fast path.
+	if inm := r.Header.Get("If-None-Match"); inm == "*" || (inm != "" && etagMatches(inm, ent.etag)) {
+		h.Del("Content-Type")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(ent.body)))
+	if r.Method == http.MethodHead {
+		// Identical headers to GET — ETag, Content-Type, Content-Length —
+		// with no body; net/http suppresses any body on HEAD, but not
+		// writing one keeps the hit path allocation-free.
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	_, _ = w.Write(ent.body)
+}
+
+// setElapsed stamps the per-request wall time on the response headers,
+// in fractional milliseconds (the old body field's unit).
+func setElapsed(h http.Header, start time.Time) {
+	h.Set(elapsedHeader, strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000, 'f', -1, 64))
+}
+
+// CacheStats reports the response cache's cumulative hit and miss
+// counts. A hit is any request served without rendering: a cached-bytes
+// lookup, a singleflight wait on another request's render, or a
+// fast-path 304. previewd logs these and loadgen records the hit rate
+// into the serving benchmark trajectory.
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
+}

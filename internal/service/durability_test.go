@@ -8,7 +8,6 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 
@@ -80,12 +79,11 @@ func postBatch(t testing.TB, ts *httptest.Server, route, body string) {
 	}
 }
 
-var elapsedRE = regexp.MustCompile(`"elapsed_ms":[0-9.eE+-]+`)
-
 // snapshotResponses fetches every read surface whose bytes must survive
 // a crash: stats, JSON previews (both measure pairs for the key axis,
-// with sampled tuples), and the markdown rendering. Timing fields are
-// the one legitimate difference between runs, so they are masked.
+// with sampled tuples), and the markdown rendering. Read bodies carry
+// no timing field (that moved to the X-Previewtables-Elapsed header),
+// so the comparison is raw bytes with nothing masked.
 func snapshotResponses(t testing.TB, ts *httptest.Server) map[string]string {
 	t.Helper()
 	urls := []string{
@@ -109,7 +107,7 @@ func snapshotResponses(t testing.TB, ts *httptest.Server) map[string]string {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d body %s", u, resp.StatusCode, raw)
 		}
-		out[u] = elapsedRE.ReplaceAllString(string(raw), `"elapsed_ms":0`)
+		out[u] = string(raw)
 	}
 	return out
 }

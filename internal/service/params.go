@@ -111,6 +111,24 @@ func parsePreviewParams(q url.Values) (previewParams, error) {
 	return p, nil
 }
 
+// canonical renders validated parameters in one fixed spelling and
+// order, so every equivalent request — defaults omitted or spelled out,
+// measure aliases (key=random-walk vs key=walk), unknown parameters the
+// parser ignores — maps to the same cache key and ETag. Canonicalizing
+// from the parsed struct rather than the raw query is what makes the
+// merge safe: two requests share a key only if the handler would have
+// seen identical previewParams, and the body is a function of nothing
+// else. d is included even for concise requests (where discovery
+// ignores it) — that can only fragment the key space, never alias two
+// different bodies.
+func (p previewParams) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d&n=%d&mode=%s&d=%d&key=%s&nonkey=%s&tuples=%d&rep=%t",
+		p.Constraint.K, p.Constraint.N, strings.ToLower(p.Constraint.Mode.String()), p.Constraint.D,
+		keyMeasureName(p.Key), nonKeyMeasureName(p.NonKey), p.Tuples, p.Representative)
+	return b.String()
+}
+
 // intParam parses an optional integer query parameter.
 func intParam(q url.Values, name string, def int) (int, error) {
 	v := q.Get(name)

@@ -252,6 +252,15 @@ type view struct {
 
 	mu    sync.Mutex
 	discs map[measureKey]*discSlot
+
+	// resp caches rendered response bytes keyed by endpoint + canonical
+	// params (cache.go). It lives inside the view on purpose: the view
+	// IS the epoch, so publishing a new epoch abandons every cached body
+	// of the old one with no explicit invalidation step — on a leader's
+	// write batch and a follower's ApplyShipped alike, both of which
+	// install views through Graph.publish.
+	respMu sync.Mutex
+	resp   map[string]*respSlot
 }
 
 // Scores returns the view's score set, computing it on first use for

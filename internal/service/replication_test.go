@@ -90,8 +90,11 @@ var replReadURLs = []string{
 	"/v1/graphs/fig1/render?k=2&n=3&tuples=3&key=coverage&nonkey=coverage&format=markdown",
 }
 
-// readSurfaces fetches urls, masking only the timing field (the one
-// legitimate difference between two runs).
+// readSurfaces fetches urls. Bodies carry no timing field, so leader
+// and follower are compared raw, byte for byte — and their ETags must
+// agree too (same graph, same epoch, same canonical key mint the same
+// strong validator on both nodes), so the tag is folded into the
+// compared value.
 func readSurfaces(t testing.TB, base string, urls []string) map[string]string {
 	t.Helper()
 	out := make(map[string]string, len(urls))
@@ -108,7 +111,7 @@ func readSurfaces(t testing.TB, base string, urls []string) map[string]string {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d body %s", u, resp.StatusCode, raw)
 		}
-		out[u] = elapsedRE.ReplaceAllString(string(raw), `"elapsed_ms":0`)
+		out[u] = resp.Header.Get("ETag") + "\n" + string(raw)
 	}
 	return out
 }
@@ -535,6 +538,17 @@ func TestReplicationRouteDiscipline(t *testing.T) {
 		{"static read wrong method", staticTS, "POST", "/v1/graphs/fig1/stats", want{status: 405, allow: str("GET, HEAD")}},
 		{"follower read wrong method", follower.ts, "POST", "/v1/graphs/fig1/stats", want{status: 405, allow: str("GET, HEAD")}},
 		{"replication wrong method", leader.ts, "POST", "/v1/replication/fig1/status", want{status: 405, allow: str("GET, HEAD")}},
+		// HEAD is a first-class read method: 200 on read routes on every
+		// server role, and the same 404/405 ordering as any other method
+		// elsewhere (the 304 arm of HEAD lives in TestHeadDiscipline,
+		// which compares HEAD's headers against GET's byte for byte).
+		{"HEAD static read", staticTS, "HEAD", "/v1/graphs/fig1/stats", want{status: 200}},
+		{"HEAD mutable read", leader.ts, "HEAD", "/v1/graphs/fig1/preview?k=2&n=3", want{status: 200}},
+		{"HEAD follower read", follower.ts, "HEAD", "/v1/graphs", want{status: 200}},
+		{"HEAD unknown graph", staticTS, "HEAD", "/v1/graphs/nope/stats", want{status: 404}},
+		{"HEAD unknown action", leader.ts, "HEAD", "/v1/graphs/fig1/explode", want{status: 404}},
+		{"HEAD static write route", staticTS, "HEAD", "/v1/graphs/fig1/edges", want{status: 405, allow: str("")}},
+		{"HEAD mutable write route", leader.ts, "HEAD", "/v1/graphs/fig1/triples", want{status: 405, allow: str("POST")}},
 		// A read-only graph's write routes support no method at all.
 		{"static write POST", staticTS, "POST", "/v1/graphs/fig1/edges", want{status: 405, allow: str("")}},
 		{"static write GET", staticTS, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("")}},

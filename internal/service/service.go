@@ -1,12 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/uta-db/previewtables/internal/core"
@@ -29,6 +31,14 @@ import (
 // outside its set answers 405 with an accurate Allow (empty on a
 // read-only graph's write routes — they support no method at all); a
 // method-correct write on a follower answers 503 naming the leader.
+//
+// Every read route serves its rendered bytes from an epoch-keyed
+// response cache with strong epoch-derived ETags (see cache.go): a GET
+// or HEAD whose If-None-Match names the current representation answers
+// 304 without rendering, HEAD answers GET's exact headers (ETag,
+// Content-Type, Content-Length) with no body, and per-request timing
+// rides in the X-Previewtables-Elapsed header so bodies stay pure
+// functions of (epoch, params).
 //
 // preview and render accept k, n, mode (concise|tight|diverse), d, key
 // (coverage|walk), nonkey (coverage|entropy), tuples and rep parameters;
@@ -58,6 +68,17 @@ type Server struct {
 	// DefaultReplicationWait). A follower's wait parameter can shorten
 	// one request's wait but never lengthen it past this bound.
 	ReplicationWait time.Duration
+
+	// NoCache disables the epoch-keyed response cache (cache.go): every
+	// read discovers and renders cold. ETag/304/HEAD semantics are
+	// unaffected — they are properties of the routes, not the cache.
+	// The differential tests and loadgen's contrast arm use it;
+	// previewd exposes it as -no-response-cache.
+	NoCache bool
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	list        listCache
 }
 
 // DefaultSearchBudget bounds tight/diverse candidate generation per
@@ -111,6 +132,11 @@ type constraintDoc struct {
 // Epoch is present for mutable graphs only: it names the snapshot the
 // preview was discovered against, so a client interleaving writes and
 // reads can tell whether a preview already reflects its last batch.
+//
+// The body deliberately carries no timing field: a body must be a pure
+// function of (epoch, params) for the response cache and the
+// replication byte-identity proof, so per-request timing rides in the
+// X-Previewtables-Elapsed header instead (see cache.go).
 type previewResponse struct {
 	Graph      string            `json:"graph"`
 	Epoch      *uint64           `json:"epoch,omitempty"`
@@ -118,7 +144,6 @@ type previewResponse struct {
 	Key        string            `json:"key_measure"`
 	NonKey     string            `json:"non_key_measure"`
 	Preview    render.PreviewDoc `json:"preview"`
-	ElapsedMS  float64           `json:"elapsed_ms"`
 }
 
 // ServeHTTP implements http.Handler.
@@ -135,7 +160,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if !s.requireRead(w, r) {
 			return
 		}
-		s.handleList(w)
+		s.handleList(w, r)
 	case strings.HasPrefix(path, "/v1/graphs/"):
 		s.handleGraph(w, r, strings.TrimPrefix(path, "/v1/graphs/"))
 	case strings.HasPrefix(path, "/v1/replication/"):
@@ -204,7 +229,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string
 	switch action {
 	case "stats":
 		if s.requireRead(w, r) {
-			s.writeJSON(w, statsFor(gr))
+			s.handleStats(w, r, gr)
 		}
 	case "preview":
 		if s.requireRead(w, r) {
@@ -228,23 +253,54 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter) {
-	doc := graphsDoc{Graphs: []render.GraphStatsDoc{}}
-	for _, name := range s.reg.Names() {
+// handleList serves /v1/graphs through the one-slot listing cache: the
+// cache key (and ETag scope) is the composite (name, epoch) vector of
+// every registered graph, captured as view pointers once so the key and
+// the body are built from the same epochs even while writers publish.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	views := make([]*view, len(names))
+	var scope strings.Builder
+	scope.WriteString("graphs")
+	for i, name := range names {
 		gr, ok := s.reg.Get(name)
 		if !ok {
 			continue
 		}
-		doc.Graphs = append(doc.Graphs, statsFor(gr))
+		views[i] = gr.view()
+		fmt.Fprintf(&scope, "\x00%s", views[i].etagScope(name))
 	}
-	s.writeJSON(w, doc)
+	composite := scope.String()
+	s.serveCached(w, r, composite, composite, &s.list, func() (*cacheEntry, error) {
+		doc := graphsDoc{Graphs: []render.GraphStatsDoc{}}
+		for i, name := range names {
+			if views[i] != nil {
+				doc.Graphs = append(doc.Graphs, statsFor(name, views[i]))
+			}
+		}
+		body, err := marshalJSONBody(doc)
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{contentType: "application/json; charset=utf-8", body: body}, nil
+	})
 }
 
-func statsFor(gr *Graph) render.GraphStatsDoc {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, gr *Graph) {
 	// One view load: reading stats and epoch separately could pair an old
 	// epoch's counts with a concurrent writer's new epoch.
 	v := gr.view()
-	doc := render.GraphStats(gr.Name(), v.stats)
+	s.serveCached(w, r, v.etagScope(gr.Name()), "stats", v, func() (*cacheEntry, error) {
+		body, err := marshalJSONBody(statsFor(gr.Name(), v))
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{contentType: "application/json; charset=utf-8", body: body}, nil
+	})
+}
+
+func statsFor(name string, v *view) render.GraphStatsDoc {
+	doc := render.GraphStats(name, v.stats)
 	if v.mutable {
 		doc = doc.WithEpoch(v.epoch)
 	}
@@ -252,15 +308,11 @@ func statsFor(gr *Graph) render.GraphStatsDoc {
 }
 
 // discover runs one validated discovery request against the epoch view's
-// cached Discoverer, mapping failures to HTTP statuses: empty preview
-// space is 422 (the request was well formed; the graph just cannot
-// satisfy it).
-func (s *Server) discover(w http.ResponseWriter, r *http.Request, v *view) (core.Preview, previewParams, bool) {
-	p, err := parsePreviewParams(r.URL.Query())
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return core.Preview{}, p, false
-	}
+// cached Discoverer, mapping failures to HTTP statuses via httpError:
+// empty preview space is 422 (the request was well formed; the graph
+// just cannot satisfy it). Failures pass through the cache layer
+// uncached — only successful renders are retained.
+func (s *Server) discover(v *view, p previewParams) (core.Preview, error) {
 	c := p.Constraint
 	c.MaxCandidates = s.SearchBudget
 	pv, err := v.Discoverer(p.Key, p.NonKey).Discover(c)
@@ -273,41 +325,49 @@ func (s *Server) discover(w http.ResponseWriter, r *http.Request, v *view) (core
 			status = http.StatusUnprocessableEntity
 			err = fmt.Errorf("%w: the distance constraint admits too many key-attribute subsets; tighten mode/d or lower k", err)
 		}
-		s.writeError(w, status, err)
-		return core.Preview{}, p, false
+		return core.Preview{}, &httpError{status: status, err: err}
 	}
-	return pv, p, true
+	return pv, nil
 }
 
 func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph) {
-	start := time.Now()
-	v := gr.view()
-	pv, p, ok := s.discover(w, r, v)
-	if !ok {
+	p, err := parsePreviewParams(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	mode := constraintDoc{
-		K:    p.Constraint.K,
-		N:    p.Constraint.N,
-		Mode: strings.ToLower(p.Constraint.Mode.String()),
-	}
-	if p.Constraint.Mode != core.Concise {
-		d := p.Constraint.D
-		mode.D = &d
-	}
-	resp := previewResponse{
-		Graph:      gr.Name(),
-		Constraint: mode,
-		Key:        keyMeasureName(p.Key),
-		NonKey:     nonKeyMeasureName(p.NonKey),
-		Preview:    render.PreviewDocument(v.g, &pv, renderOptions(p)),
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-	}
-	if v.mutable {
-		epoch := v.epoch
-		resp.Epoch = &epoch
-	}
-	s.writeJSON(w, resp)
+	v := gr.view()
+	s.serveCached(w, r, v.etagScope(gr.Name()), "preview?"+p.canonical(), v, func() (*cacheEntry, error) {
+		pv, err := s.discover(v, p)
+		if err != nil {
+			return nil, err
+		}
+		mode := constraintDoc{
+			K:    p.Constraint.K,
+			N:    p.Constraint.N,
+			Mode: strings.ToLower(p.Constraint.Mode.String()),
+		}
+		if p.Constraint.Mode != core.Concise {
+			d := p.Constraint.D
+			mode.D = &d
+		}
+		resp := previewResponse{
+			Graph:      gr.Name(),
+			Constraint: mode,
+			Key:        keyMeasureName(p.Key),
+			NonKey:     nonKeyMeasureName(p.NonKey),
+			Preview:    render.PreviewDocument(v.g, &pv, renderOptions(p)),
+		}
+		if v.mutable {
+			epoch := v.epoch
+			resp.Epoch = &epoch
+		}
+		body, err := marshalJSONBody(resp)
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{contentType: "application/json; charset=utf-8", body: body}, nil
+	})
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, gr *Graph) {
@@ -320,23 +380,35 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, gr *Graph)
 			fmt.Errorf("unknown format %q: want text or markdown", format))
 		return
 	}
-	v := gr.view()
-	pv, p, ok := s.discover(w, r, v)
-	if !ok {
+	p, err := parsePreviewParams(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := renderOptions(p)
-	var err error
-	switch format {
-	case "markdown":
-		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
-		err = render.MarkdownPreview(w, v.g, &pv, opts)
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		err = render.Preview(w, v.g, &pv, opts)
-	}
-	// The status line is already out; all we can do is stop writing.
-	_ = err
+	v := gr.view()
+	key := "render?format=" + format + "&" + p.canonical()
+	s.serveCached(w, r, v.etagScope(gr.Name()), key, v, func() (*cacheEntry, error) {
+		pv, err := s.discover(v, p)
+		if err != nil {
+			return nil, err
+		}
+		// Rendering into a buffer (rather than streaming to the socket)
+		// is what makes render failures reportable as 500s at all — the
+		// old streaming path had already committed the status line.
+		var buf bytes.Buffer
+		opts := renderOptions(p)
+		ct := "text/plain; charset=utf-8"
+		if format == "markdown" {
+			ct = "text/markdown; charset=utf-8"
+			err = render.MarkdownPreview(&buf, v.g, &pv, opts)
+		} else {
+			err = render.Preview(&buf, v.g, &pv, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{contentType: ct, body: buf.Bytes()}, nil
+	})
 }
 
 // renderOptions maps request parameters onto render options. Sampling is
