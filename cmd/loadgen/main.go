@@ -88,6 +88,11 @@ func main() {
 			base + "/preview?k=2&n=3",
 			base + "/preview?k=2&n=3&tuples=3",
 			base + "/preview?k=3&n=6&key=coverage&nonkey=entropy",
+			// Tight/diverse previews exercise the Apriori search and, across
+			// the write arm's epoch bumps, the incremental discovery path.
+			base + "/preview?k=2&n=3&mode=tight&d=2",
+			base + "/preview?k=2&n=3&mode=diverse&d=2",
+			base + "/preview?k=2&n=3&mode=diverse&d=2&anytime=1",
 			base + "/render?k=2&n=3&tuples=3&format=markdown",
 		},
 		Conditional: *conditional,

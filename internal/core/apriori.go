@@ -20,6 +20,8 @@ package core
 // slice headers would triple the memory bill.
 
 import (
+	"math"
+
 	"github.com/uta-db/previewtables/internal/graph"
 )
 
@@ -28,12 +30,24 @@ import (
 // — and slower — equivalent of BruteForce; it is permitted for testing but
 // DynamicProgramming should be preferred.
 func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
+	p, _, err := d.aprioriTop2(c)
+	return p, err
+}
+
+// aprioriTop2 is Apriori returning, alongside the optimal preview, the
+// runner-up score: the maximum preview score over every feasible k-subset
+// other than the winner (-Inf when the winner is the only feasible
+// subset). The runner-up is what the incremental Maintained state needs —
+// an upper bound on how well any other subset scored — and it is a pure
+// function of the candidate set, so sequential and parallel searches
+// return the same value (top-2 merging is order-independent).
+func (d *Discoverer) aprioriTop2(c Constraint) (Preview, float64, error) {
 	if err := c.Validate(); err != nil {
-		return Preview{}, err
+		return Preview{}, 0, err
 	}
 	types := d.usableTypes()
 	if len(types) < c.K {
-		return Preview{}, ErrNoPreview
+		return Preview{}, 0, ErrNoPreview
 	}
 	var stats SearchStats
 
@@ -54,7 +68,7 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 			for j := i + 1; j < len(types); j++ {
 				if d.distOK(c, types[i], types[j]) {
 					if budget > 0 && len(level)/2 >= budget {
-						return Preview{}, ErrSearchBudget
+						return Preview{}, 0, ErrSearchBudget
 					}
 					level = append(level, int32(i), int32(j))
 				}
@@ -72,19 +86,20 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 			}
 			var err error
 			if level, err = d.joinLevel(c, types, level, stride, remaining); err != nil {
-				return Preview{}, err
+				return Preview{}, 0, err
 			}
 			stride = size
 			stats.CandidatesGenerated += len(level) / stride
 		}
 	}
 	if len(level) == 0 {
-		return Preview{}, ErrNoPreview
+		return Preview{}, 0, ErrNoPreview
 	}
 
 	var (
 		bestKeys  []graph.TypeID
 		bestScore float64
+		runnerUp  = math.Inf(-1)
 		found     bool
 	)
 	keys := make([]graph.TypeID, k)
@@ -98,22 +113,33 @@ func (d *Discoverer) Apriori(c Constraint) (Preview, error) {
 		// Explicit lexicographic tie-break, matching BruteForce and the
 		// parallel searches' merge step (levels are lex-sorted, so first
 		// wins was already lex-smallest; now the policy is stated).
-		if !found || score > bestScore ||
-			(score == bestScore && lessKeys(keys, bestKeys)) {
+		//
+		// Invariant: runnerUp is the max score over scored subsets other
+		// than the current best. When a new subset displaces the best, the
+		// old best (the max of everything before it) becomes the runner-up;
+		// otherwise the new subset competes for runner-up directly.
+		switch {
+		case !found:
 			bestScore = score
 			bestKeys = append(bestKeys[:0], keys...)
 			found = true
+		case score > bestScore || (score == bestScore && lessKeys(keys, bestKeys)):
+			runnerUp = bestScore
+			bestScore = score
+			bestKeys = append(bestKeys[:0], keys...)
+		case score > runnerUp:
+			runnerUp = score
 		}
 	}
 	if !found {
-		return Preview{}, ErrNoPreview
+		return Preview{}, 0, ErrNoPreview
 	}
 	best, err := d.ComputePreview(bestKeys, c.N)
 	if err != nil {
-		return Preview{}, err
+		return Preview{}, 0, err
 	}
 	best.Stats = stats
-	return best, nil
+	return best, runnerUp, nil
 }
 
 // joinLevel merges a flat level of (size-1)-subsets into the flat level of
@@ -234,4 +260,91 @@ func (d *Discoverer) CliqueDFS(c Constraint) (Preview, error) {
 	}
 	best.Stats = stats
 	return best, nil
+}
+
+// AnytimeBest is the anytime variant of discovery: it runs the depth-first
+// clique enumeration under c.MaxCandidates and, where CliqueDFS reports
+// ErrSearchBudget, instead returns the best preview found so far. The
+// boolean reports whether enumeration completed within the budget (the
+// result is then exact, equal to what Discover returns). Concise mode has
+// no distance constraint and dynamic programming is already cheap and
+// exact, so it is answered exactly regardless of budget.
+//
+// The enumeration is sequential and visits subsets in a fixed
+// lexicographic order, so the partial answer for a given (scores, budget)
+// pair is deterministic — a leader and a caught-up follower return the
+// same bytes, which the response cache relies on.
+func (d *Discoverer) AnytimeBest(c Constraint) (Preview, bool, error) {
+	if err := c.Validate(); err != nil {
+		return Preview{}, false, err
+	}
+	if c.Mode == Concise {
+		p, err := d.DynamicProgramming(c)
+		return p, true, err
+	}
+	types := d.usableTypes()
+	if len(types) < c.K {
+		return Preview{}, true, ErrNoPreview
+	}
+
+	var (
+		bestKeys  []graph.TypeID
+		bestScore float64
+		found     bool
+		stats     SearchStats
+	)
+	subset := make([]graph.TypeID, c.K)
+	take := make([]int, c.K)
+	exceeded := false
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == c.K {
+			stats.SubsetsScored++
+			score := d.previewScore(subset, c.N, take)
+			if !found || score > bestScore ||
+				(score == bestScore && lessKeys(subset, bestKeys)) {
+				bestScore = score
+				bestKeys = append(bestKeys[:0], subset...)
+				found = true
+			}
+			return
+		}
+		for i := start; i <= len(types)-(c.K-pos); i++ {
+			if exceeded {
+				return
+			}
+			t := types[i]
+			ok := true
+			for q := 0; q < pos; q++ {
+				if !d.distOK(c, subset[q], t) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if c.MaxCandidates > 0 && stats.CandidatesGenerated >= c.MaxCandidates {
+				exceeded = true
+				return
+			}
+			stats.CandidatesGenerated++
+			subset[pos] = t
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+
+	if !found {
+		if exceeded {
+			return Preview{}, false, ErrSearchBudget
+		}
+		return Preview{}, true, ErrNoPreview
+	}
+	best, err := d.ComputePreview(bestKeys, c.N)
+	if err != nil {
+		return Preview{}, false, err
+	}
+	best.Stats = stats
+	return best, !exceeded, nil
 }

@@ -31,6 +31,7 @@ package core
 // answer distance-constrained previews with all its cores.
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -226,18 +227,28 @@ func concatInt32(parts [][]int32) []int32 {
 // returns exactly the preview (and stats) Apriori returns, including
 // ErrSearchBudget under exactly the same candidate volumes.
 func (d *Discoverer) AprioriParallel(c Constraint, workers int) (Preview, error) {
+	p, _, err := d.aprioriParallelTop2(c, workers)
+	return p, err
+}
+
+// aprioriParallelTop2 is AprioriParallel returning the runner-up score
+// alongside the optimal preview (see aprioriTop2). The runner-up is the
+// max over all scored subsets other than the winner — a max over a fixed
+// set — so per-span (best, runner-up) pairs merge to the same value the
+// sequential scan computes, at any worker count.
+func (d *Discoverer) aprioriParallelTop2(c Constraint, workers int) (Preview, float64, error) {
 	if err := c.Validate(); err != nil {
-		return Preview{}, err
+		return Preview{}, 0, err
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers == 1 {
-		return d.Apriori(c)
+		return d.aprioriTop2(c)
 	}
 	types := d.usableTypes()
 	if len(types) < c.K {
-		return Preview{}, ErrNoPreview
+		return Preview{}, 0, ErrNoPreview
 	}
 	if c.Mode != Concise {
 		d.Distances() // materialize once, not under every worker's first query
@@ -275,14 +286,14 @@ func (d *Discoverer) AprioriParallel(c Constraint, workers int) (Preview, error)
 			parts[si] = out
 		})
 		if !budget.ok() {
-			return Preview{}, ErrSearchBudget
+			return Preview{}, 0, ErrSearchBudget
 		}
 		level = concatInt32(parts)
 		candTotal += len(level) / 2
 		for size := 3; size <= k && len(level) > 0; size++ {
 			var err error
 			if level, err = d.joinLevelParallel(c, types, level, stride, workers, budget); err != nil {
-				return Preview{}, err
+				return Preview{}, 0, err
 			}
 			stride = size
 			candTotal += len(level) / stride
@@ -290,7 +301,7 @@ func (d *Discoverer) AprioriParallel(c Constraint, workers int) (Preview, error)
 	}
 	stats := SearchStats{CandidatesGenerated: candTotal}
 	if len(level) == 0 {
-		return Preview{}, ErrNoPreview
+		return Preview{}, 0, ErrNoPreview
 	}
 
 	// Score the surviving k-subsets: per-span bests, merged in span order
@@ -299,9 +310,10 @@ func (d *Discoverer) AprioriParallel(c Constraint, workers int) (Preview, error)
 	// subset the sequential scan keeps.
 	nCands := len(level) / stride
 	type best struct {
-		keys  []graph.TypeID
-		score float64
-		found bool
+		keys   []graph.TypeID
+		score  float64
+		second float64 // max score in span excluding keys; -Inf if none
+		found  bool
 	}
 	spans := par.Spans(nCands, workers*spanFactor)
 	bests := make([]best, len(spans))
@@ -309,40 +321,62 @@ func (d *Discoverer) AprioriParallel(c Constraint, workers int) (Preview, error)
 		keys := make([]graph.TypeID, stride)
 		take := make([]int, stride)
 		res := &bests[si]
+		res.second = math.Inf(-1)
 		for cand := spans[si].Lo; cand < spans[si].Hi; cand++ {
 			off := cand * stride
 			for i := 0; i < stride; i++ {
 				keys[i] = types[level[off+i]]
 			}
 			score := d.previewScore(keys, c.N, take)
-			if !res.found || score > res.score ||
-				(score == res.score && lessKeys(keys, res.keys)) {
+			switch {
+			case !res.found:
 				res.score = score
 				res.keys = append(res.keys[:0], keys...)
 				res.found = true
+			case score > res.score || (score == res.score && lessKeys(keys, res.keys)):
+				res.second = res.score
+				res.score = score
+				res.keys = append(res.keys[:0], keys...)
+			case score > res.second:
+				res.second = score
 			}
 		}
 	})
 	stats.SubsetsScored = nCands
-	var win best
+	// Merge: the global runner-up is the max over every span's runner-up
+	// plus every span best that is not the global winner. Folding a
+	// displaced winner's score at displacement time covers the bests seen
+	// before the winner; bests after it fold in directly.
+	win := best{second: math.Inf(-1)}
+	runnerUp := math.Inf(-1)
 	for _, rb := range bests {
+		if rb.second > runnerUp {
+			runnerUp = rb.second
+		}
 		if !rb.found {
 			continue
 		}
-		if !win.found || rb.score > win.score ||
-			(rb.score == win.score && lessKeys(rb.keys, win.keys)) {
+		switch {
+		case !win.found:
 			win = rb
+		case rb.score > win.score || (rb.score == win.score && lessKeys(rb.keys, win.keys)):
+			if win.score > runnerUp {
+				runnerUp = win.score
+			}
+			win = rb
+		case rb.score > runnerUp:
+			runnerUp = rb.score
 		}
 	}
 	if !win.found {
-		return Preview{}, ErrNoPreview
+		return Preview{}, 0, ErrNoPreview
 	}
 	p, err := d.ComputePreview(win.keys, c.N)
 	if err != nil {
-		return Preview{}, err
+		return Preview{}, 0, err
 	}
 	p.Stats = stats
-	return p, nil
+	return p, runnerUp, nil
 }
 
 // joinLevelParallel is joinLevel with the candidate blocks partitioned

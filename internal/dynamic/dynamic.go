@@ -56,6 +56,44 @@ type Graph struct {
 	// schema weights only slightly, so the old π is already near the new
 	// fixed point and re-solving takes a handful of iterations.
 	walkPi []float64
+
+	// dirtyTypes collects, since the last resetDirty, the entity types
+	// whose per-type measure inputs (coverage counter, incident entropy
+	// histograms, incident relationship counts) moved — the set downstream
+	// incremental discovery re-ranks instead of every type. structural
+	// records that the schema itself changed (new type or relationship
+	// type), which voids any incremental carry-forward.
+	dirtyTypes map[graph.TypeID]struct{}
+	structural bool
+}
+
+// markDirty records that type t's measure inputs moved.
+func (g *Graph) markDirty(t graph.TypeID) {
+	if g.dirtyTypes == nil {
+		g.dirtyTypes = map[graph.TypeID]struct{}{}
+	}
+	g.dirtyTypes[t] = struct{}{}
+}
+
+// resetDirty clears the dirty-tracking state; the next takeDirty reports
+// only mutations from this point on.
+func (g *Graph) resetDirty() {
+	g.dirtyTypes = nil
+	g.structural = false
+}
+
+// takeDirty returns the types dirtied since the last resetDirty (sorted,
+// for determinism) and whether a structural change occurred.
+func (g *Graph) takeDirty() ([]graph.TypeID, bool) {
+	if len(g.dirtyTypes) == 0 {
+		return nil, g.structural
+	}
+	ts := make([]graph.TypeID, 0, len(g.dirtyTypes))
+	for t := range g.dirtyTypes {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	return ts, g.structural
 }
 
 type relKey struct {
@@ -159,6 +197,7 @@ func (g *Graph) Type(name string) graph.TypeID {
 	g.typeNames = append(g.typeNames, name)
 	g.coverage = append(g.coverage, 0)
 	g.typeByName[name] = id
+	g.structural = true
 	return id
 }
 
@@ -178,6 +217,7 @@ func (g *Graph) RelType(name string, from, to graph.TypeID) (graph.RelTypeID, er
 	g.rels = append(g.rels, graph.RelType{Name: name, From: from, To: to})
 	g.hist = append(g.hist, [2]*valueHist{newValueHist(), newValueHist()})
 	g.relByKey[k] = id
+	g.structural = true
 	return id, nil
 }
 
@@ -211,6 +251,7 @@ func (g *Graph) addType(e graph.EntityID, t graph.TypeID) {
 	ts[i] = t
 	g.entTypes[e] = ts
 	g.coverage[t]++
+	g.markDirty(t)
 }
 
 // AddEdge inserts one relationship instance and updates every affected
@@ -232,6 +273,10 @@ func (g *Graph) AddEdge(from, to graph.EntityID, rel graph.RelTypeID) error {
 	g.edges++
 	g.hist[rel][0].add(from, to)
 	g.hist[rel][1].add(to, from)
+	// The edge moves the relationship count and both orientations'
+	// entropy — non-key inputs of exactly the two endpoint types.
+	g.markDirty(rt.From)
+	g.markDirty(rt.To)
 	return nil
 }
 

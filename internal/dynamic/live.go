@@ -60,6 +60,15 @@ type Snapshot struct {
 	Scores *score.Set
 	// Frozen is the immutable entity graph for tuple materialization.
 	Frozen *graph.EntityGraph
+	// Dirty lists (sorted) the entity types whose measure inputs moved in
+	// the batch that produced this epoch — the delta incremental discovery
+	// re-ranks. nil when nothing moved or on a structural publication.
+	Dirty []graph.TypeID
+	// Structural marks a publication that is not a single incremental step
+	// from its predecessor: the initial load, recovery, resync, or a batch
+	// that changed the schema (new type or relationship type). Consumers
+	// carrying state across epochs must rebuild from scratch at one.
+	Structural bool
 }
 
 // Live wraps a Graph for concurrent serving: Apply serializes writers and
@@ -91,7 +100,9 @@ func NewLive(g *Graph, opts score.WalkOptions) (*Live, error) {
 // epoch sequence has no seam across the restart.
 func NewLiveAt(g *Graph, opts score.WalkOptions, epoch uint64) (*Live, error) {
 	l := &Live{opts: opts, g: g}
-	if err := l.publishLocked(epoch); err != nil {
+	// The initial publication is structural by definition: nothing
+	// precedes it to be incremental from.
+	if err := l.publishLocked(epoch, nil, true); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -180,17 +191,19 @@ func (l *Live) applyLocked(kind byte, payload []byte, mutate func(*Graph) error)
 	if l.wedged != nil {
 		return nil, fmt.Errorf("%w: %v", ErrWedged, l.wedged)
 	}
+	l.g.resetDirty()
 	if err := mutate(l.g); err != nil {
 		return nil, err
 	}
 	epoch := l.snap.Load().Epoch + 1
+	dirty, structural := l.g.takeDirty()
 	if l.hook != nil {
 		if err := l.hook(epoch, kind, payload); err != nil {
 			l.wedged = err
 			return nil, fmt.Errorf("dynamic: logging batch for epoch %d: %w", epoch, err)
 		}
 	}
-	if err := l.publishLocked(epoch); err != nil {
+	if err := l.publishLocked(epoch, dirty, structural); err != nil {
 		if l.hook != nil {
 			// The batch is already in the log; failing to publish it leaves
 			// log, memory and published epoch mutually inconsistent (and the
@@ -205,8 +218,9 @@ func (l *Live) applyLocked(kind byte, payload []byte, mutate func(*Graph) error)
 }
 
 // publishLocked refreshes scores through the incremental path, freezes
-// the entity graph, and swaps in the new snapshot. Callers hold l.mu.
-func (l *Live) publishLocked(epoch uint64) error {
+// the entity graph, and swaps in the new snapshot carrying the batch's
+// dirty-type delta. Callers hold l.mu.
+func (l *Live) publishLocked(epoch uint64, dirty []graph.TypeID, structural bool) error {
 	scores, err := l.g.Scores(l.opts)
 	if err != nil {
 		return fmt.Errorf("dynamic: refreshing scores: %w", err)
@@ -215,11 +229,16 @@ func (l *Live) publishLocked(epoch uint64) error {
 	if err != nil {
 		return fmt.Errorf("dynamic: freezing graph: %w", err)
 	}
+	if structural {
+		dirty = nil
+	}
 	l.snap.Store(&Snapshot{
-		Epoch:  epoch,
-		Stats:  l.g.Stats(),
-		Scores: scores,
-		Frozen: frozen,
+		Epoch:      epoch,
+		Stats:      l.g.Stats(),
+		Scores:     scores,
+		Frozen:     frozen,
+		Dirty:      dirty,
+		Structural: structural,
 	})
 	return nil
 }

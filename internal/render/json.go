@@ -21,13 +21,23 @@ import (
 // state of a mutable graph — still serializes, while immutable graphs
 // omit both fields.
 type GraphStatsDoc struct {
-	Name     string  `json:"name"`
-	Entities int     `json:"entities"`
-	Edges    int     `json:"edges"`
-	Types    int     `json:"types"`
-	RelTypes int     `json:"rel_types"`
-	Mutable  bool    `json:"mutable,omitempty"`
-	Epoch    *uint64 `json:"epoch,omitempty"`
+	Name     string      `json:"name"`
+	Entities int         `json:"entities"`
+	Edges    int         `json:"edges"`
+	Types    int         `json:"types"`
+	RelTypes int         `json:"rel_types"`
+	Mutable  bool        `json:"mutable,omitempty"`
+	Epoch    *uint64     `json:"epoch,omitempty"`
+	Anytime  *AnytimeDoc `json:"anytime,omitempty"`
+}
+
+// AnytimeDoc reports anytime-discovery convergence for a mutable graph:
+// whether background refinement has caught up with the current epoch,
+// and the last epoch it finished refining. Present only on graphs that
+// have served at least one anytime request.
+type AnytimeDoc struct {
+	Converged    bool   `json:"converged"`
+	RefinedEpoch uint64 `json:"refined_epoch"`
 }
 
 // GraphStats builds the stats document for an immutable graph.
@@ -46,6 +56,14 @@ func GraphStats(name string, st graph.Stats) GraphStatsDoc {
 func (d GraphStatsDoc) WithEpoch(epoch uint64) GraphStatsDoc {
 	d.Mutable = true
 	d.Epoch = &epoch
+	return d
+}
+
+// WithAnytime attaches anytime-convergence state: whether background
+// refinement has converged on the document's epoch, and the last refined
+// epoch.
+func (d GraphStatsDoc) WithAnytime(converged bool, refinedEpoch uint64) GraphStatsDoc {
+	d.Anytime = &AnytimeDoc{Converged: converged, RefinedEpoch: refinedEpoch}
 	return d
 }
 

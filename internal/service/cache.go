@@ -79,8 +79,9 @@ type respSlot struct {
 // maxCachedResponses bounds one view's response cache. The parameter
 // space is capped (maxK × maxN × modes × measures × tuples), but its
 // product is large enough that an adversarial scan could otherwise pin
-// a view's memory; past the bound, requests still build (deduplicated)
-// but the result is not retained.
+// a view's memory; at the bound, admitting a new key evicts an arbitrary
+// completed entry, so a hot key that first arrives after the cap is
+// still cacheable (an evicted entry just rebuilds on its next miss).
 const maxCachedResponses = 4096
 
 // responseCacher is the shape serveCached needs: the per-view map and
@@ -109,12 +110,30 @@ func (v *view) cachedResponse(key string, build func() (*cacheEntry, error)) (*c
 		return slot.ent, true, slot.err
 	}
 	slot := &respSlot{done: make(chan struct{})}
-	evict := len(v.resp) >= maxCachedResponses
+	if len(v.resp) >= maxCachedResponses {
+		// At capacity: make room for the newcomer by dropping an arbitrary
+		// *completed* entry (map iteration order picks it). In-flight slots
+		// are never evicted — other requests are parked on them, and
+		// removing one would let a racing request start a duplicate build.
+		for k, s := range v.resp {
+			completed := false
+			select {
+			case <-s.done:
+				completed = true
+			default:
+			}
+			if completed {
+				delete(v.resp, k)
+				break
+			}
+		}
+	}
 	v.resp[key] = slot
 	v.respMu.Unlock()
 	slot.ent, slot.err = build()
 	close(slot.done)
-	if slot.err != nil || evict {
+	if slot.err != nil {
+		// Failed builds are not cached: the next request retries.
 		v.respMu.Lock()
 		if v.resp[key] == slot {
 			delete(v.resp, key)

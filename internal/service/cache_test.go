@@ -29,7 +29,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/uta-db/previewtables/internal/core"
 	"github.com/uta-db/previewtables/internal/fig1"
+	"github.com/uta-db/previewtables/internal/score"
 )
 
 // readCombos is every read endpoint × a spread of param combinations:
@@ -544,4 +546,191 @@ func benchServing(b *testing.B, noCache bool, ifNoneMatch string) {
 			}
 		}
 	})
+}
+
+// fillToCapacity stuffs v's response cache with distinct completed
+// synthetic entries until it holds exactly maxCachedResponses.
+func fillToCapacity(t testing.TB, v *view) {
+	t.Helper()
+	for i := 0; ; i++ {
+		v.respMu.Lock()
+		n := len(v.resp)
+		v.respMu.Unlock()
+		if n >= maxCachedResponses {
+			return
+		}
+		key := fmt.Sprintf("synthetic-%d", i)
+		if _, _, err := v.cachedResponse(key, func() (*cacheEntry, error) {
+			return &cacheEntry{body: []byte(key)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheAtCapacityAdmitsNewKey pins the admission bugfix: the cache
+// at maxCachedResponses entries must admit the next distinct key by
+// evicting an existing completed entry — not build-then-delete the
+// newcomer forever. The 4097th key renders once and the second request
+// for it is served from cache.
+func TestCacheAtCapacityAdmitsNewKey(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("fig1", fig1.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	gr, _ := reg.Get("fig1")
+	v := gr.view()
+	fillToCapacity(t, v)
+
+	builds := 0
+	newcomer := func() (*cacheEntry, error) {
+		builds++
+		return &cacheEntry{body: []byte("newcomer")}, nil
+	}
+	if _, hit, err := v.cachedResponse("the-4097th-key", newcomer); err != nil || hit {
+		t.Fatalf("first request: hit=%t err=%v, want a build", hit, err)
+	}
+	if _, hit, err := v.cachedResponse("the-4097th-key", newcomer); err != nil || !hit {
+		t.Fatalf("second request: hit=%t err=%v, want served from cache", hit, err)
+	}
+	if builds != 1 {
+		t.Fatalf("newcomer built %d times, want 1", builds)
+	}
+	v.respMu.Lock()
+	n := len(v.resp)
+	v.respMu.Unlock()
+	if n > maxCachedResponses {
+		t.Fatalf("cache grew past its bound: %d > %d", n, maxCachedResponses)
+	}
+}
+
+// TestCacheAtCapacityHerd extends the singleflight property to the
+// at-capacity regime: with the cache already full, a 32-way herd racing
+// one uncached URL still renders exactly once, and the herd's key is
+// retained afterwards.
+func TestCacheAtCapacityHerd(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("fig1", fig1.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	gr, _ := reg.Get("fig1")
+	fillToCapacity(t, gr.view())
+
+	srv := New(reg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const workers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			got := fetch(t, http.MethodGet, ts.URL+"/v1/graphs/fig1/preview?k=2&n=3&tuples=4", "")
+			if got.status != http.StatusOK {
+				errs <- fmt.Errorf("status %d", got.status)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	hits, misses := srv.CacheStats()
+	if misses != 1 || hits != workers-1 {
+		t.Fatalf("at-capacity herd of %d: hits %d misses %d, want %d and 1", workers, hits, misses, workers-1)
+	}
+	// A repeat request is a pure cache hit: the herd's entry was admitted
+	// (something else was evicted), not built-then-deleted.
+	if got := fetch(t, http.MethodGet, ts.URL+"/v1/graphs/fig1/preview?k=2&n=3&tuples=4", ""); got.status != http.StatusOK {
+		t.Fatalf("repeat request: status %d", got.status)
+	}
+	if hits2, misses2 := srv.CacheStats(); misses2 != misses || hits2 != hits+1 {
+		t.Fatalf("repeat request rendered again: hits %d→%d misses %d→%d", hits, hits2, misses, misses2)
+	}
+}
+
+// TestDiscovererBuildNotSticky pins the registry bugfix: a Discoverer
+// construction that panics must not leave a completed slot holding nil —
+// the panicking request fails alone, waiters retry, and the next request
+// builds successfully.
+func TestDiscovererBuildNotSticky(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("fig1", fig1.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	gr, _ := reg.Get("fig1")
+	v := gr.view()
+
+	var mu sync.Mutex
+	fails := 2 // first two builds die; the third succeeds
+	v.buildDisc = func(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
+		mu.Lock()
+		failNow := fails > 0
+		if failNow {
+			fails--
+		}
+		mu.Unlock()
+		if failNow {
+			panic("injected Discoverer construction failure")
+		}
+		return core.New(v.Scores(), core.Options{Key: km, NonKey: nm, Parallelism: v.par})
+	}
+
+	// A herd races the poisoned build: the requests that draw a failing
+	// build panic (their goroutines recover, like net/http would); every
+	// other request must end with a real Discoverer — never a nil
+	// dereference, never a permanent failure.
+	const workers = 8
+	var wg sync.WaitGroup
+	got := make([]*core.Discoverer, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ok := func() (ok bool) {
+					defer func() {
+						if r := recover(); r != nil {
+							ok = false // this request 500s; try again like a fresh request
+						}
+					}()
+					got[w] = v.Discoverer(score.KeyCoverage, score.NonKeyCoverage)
+					return true
+				}()
+				if ok {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w, d := range got {
+		if d == nil {
+			t.Fatalf("worker %d ended with a nil Discoverer", w)
+		}
+		if d != got[0] {
+			t.Fatalf("worker %d got a different Discoverer instance; the successful build should be shared", w)
+		}
+	}
+	mu.Lock()
+	remaining := fails
+	mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("only %d of 2 injected failures consumed", 2-remaining)
+	}
+	// The successful build is cached: one more call, no new build.
+	v.buildDisc = func(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
+		t.Fatal("rebuilt after success")
+		return nil
+	}
+	if d := v.Discoverer(score.KeyCoverage, score.NonKeyCoverage); d != got[0] {
+		t.Fatal("cached Discoverer not returned")
+	}
 }

@@ -38,6 +38,10 @@ type previewParams struct {
 	// Representative selects coverage-greedy tuple sampling instead of
 	// the paper's random sampling.
 	Representative bool
+	// Anytime selects anytime discovery (preview route only): answer
+	// immediately with a budget-bounded best-so-far while a background
+	// refinement converges on the exact preview.
+	Anytime bool
 }
 
 // parsePreviewParams maps query parameters onto previewParams, mirroring
@@ -105,6 +109,13 @@ func parsePreviewParams(q url.Values) (previewParams, error) {
 	default:
 		return p, fmt.Errorf("invalid rep=%q: want true or false", v)
 	}
+	switch v := strings.ToLower(q.Get("anytime")); v {
+	case "", "0", "false":
+	case "1", "true":
+		p.Anytime = true
+	default:
+		return p, fmt.Errorf("invalid anytime=%q: want true or false", v)
+	}
 	if err := p.Constraint.Validate(); err != nil {
 		return p, err
 	}
@@ -123,9 +134,9 @@ func parsePreviewParams(q url.Values) (previewParams, error) {
 // different bodies.
 func (p previewParams) canonical() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "k=%d&n=%d&mode=%s&d=%d&key=%s&nonkey=%s&tuples=%d&rep=%t",
+	fmt.Fprintf(&b, "k=%d&n=%d&mode=%s&d=%d&key=%s&nonkey=%s&tuples=%d&rep=%t&anytime=%t",
 		p.Constraint.K, p.Constraint.N, strings.ToLower(p.Constraint.Mode.String()), p.Constraint.D,
-		keyMeasureName(p.Key), nonKeyMeasureName(p.NonKey), p.Tuples, p.Representative)
+		keyMeasureName(p.Key), nonKeyMeasureName(p.NonKey), p.Tuples, p.Representative, p.Anytime)
 	return b.String()
 }
 

@@ -23,6 +23,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -81,6 +82,7 @@ func (r *Registry) Add(name string, g *graph.EntityGraph) error {
 	v := &view{
 		stats: g.Stats(),
 		g:     g,
+		gr:    gr,
 		par:   workers,
 		discs: make(map[measureKey]*discSlot),
 		compute: func() *score.Set {
@@ -217,10 +219,14 @@ type measureKey struct {
 	nonKey score.NonKeyMeasure
 }
 
-// discSlot is the singleflight slot for one measure pair: the first
-// request through the Once builds, everyone else blocks on it.
+// discSlot is the singleflight slot for one measure pair: the request
+// that created the slot builds, everyone else blocks on done. Like the
+// response cache's respSlot — and unlike a sync.Once — construction
+// failure is not sticky: a build that panics withdraws the slot, so the
+// next request retries instead of finding a completed slot with a nil
+// Discoverer.
 type discSlot struct {
-	once sync.Once
+	done chan struct{}
 	disc *core.Discoverer
 }
 
@@ -238,10 +244,19 @@ type view struct {
 	stats   graph.Stats
 	g       *graph.EntityGraph
 
+	// gr points back to the owning Graph, where the cross-epoch
+	// incremental discovery state lives (a view is one epoch; the
+	// maintained Discoverers outlive it).
+	gr *Graph
+
 	// par is the worker count for this view's score computation,
 	// Discoverer construction and searches (Registry.Parallelism at view
 	// creation).
 	par int
+
+	// buildDisc overrides cold Discoverer construction in tests (failure
+	// injection for the non-sticky build discipline); nil means core.New.
+	buildDisc func(score.KeyMeasure, score.NonKeyMeasure) *core.Discoverer
 
 	// scores is set eagerly for mutable views (the incremental refresh
 	// already produced it) and computed on first use through scoreOnce for
@@ -277,20 +292,62 @@ func (v *view) Scores() *score.Set {
 // Discoverer returns the view's cached Discoverer for the measure pair,
 // building it (and, transitively, the score set) on first use.
 // Concurrent callers for the same pair share one build; different pairs
-// build independently and concurrently.
+// build independently and concurrently. A build that panics propagates
+// to its own request only: the slot is withdrawn, waiters retry, and the
+// next request builds afresh (failure is not sticky).
 func (v *view) Discoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
 	k := measureKey{key: km, nonKey: nm}
-	v.mu.Lock()
-	slot, ok := v.discs[k]
-	if !ok {
-		slot = &discSlot{}
+	for {
+		v.mu.Lock()
+		if slot, ok := v.discs[k]; ok {
+			v.mu.Unlock()
+			<-slot.done
+			if slot.disc != nil {
+				return slot.disc
+			}
+			// The builder panicked and withdrew the slot; race for a
+			// fresh one.
+			continue
+		}
+		slot := &discSlot{done: make(chan struct{})}
 		v.discs[k] = slot
+		v.mu.Unlock()
+
+		var d *core.Discoverer
+		func() {
+			defer func() {
+				if d == nil {
+					// Construction panicked (or produced nothing): withdraw
+					// the slot and release waiters so they retry; a panic
+					// keeps unwinding this request's goroutine.
+					v.mu.Lock()
+					if v.discs[k] == slot {
+						delete(v.discs, k)
+					}
+					v.mu.Unlock()
+					close(slot.done)
+				}
+			}()
+			d = v.buildDiscoverer(km, nm)
+		}()
+		if d == nil {
+			// The slot is already withdrawn and closed by the deferred
+			// cleanup; race for a fresh build.
+			continue
+		}
+		slot.disc = d
+		close(slot.done)
+		return d
 	}
-	v.mu.Unlock()
-	slot.once.Do(func() {
-		slot.disc = core.New(v.Scores(), core.Options{Key: km, NonKey: nm, Parallelism: v.par})
-	})
-	return slot.disc
+}
+
+// buildDiscoverer constructs the cold Discoverer for a measure pair,
+// through the test hook when one is installed.
+func (v *view) buildDiscoverer(km score.KeyMeasure, nm score.NonKeyMeasure) *core.Discoverer {
+	if v.buildDisc != nil {
+		return v.buildDisc(km, nm)
+	}
+	return core.New(v.Scores(), core.Options{Key: km, NonKey: nm, Parallelism: v.par})
 }
 
 // replSource is what one graph can ship to followers: its WAL plus the
@@ -338,7 +395,37 @@ type Graph struct {
 	// long-polls; see epochChanged.
 	notifyMu sync.Mutex
 	notifyCh chan struct{}
+
+	// maintained carries discovery state across epochs, one per measure
+	// pair (see core.Maintained). It lives on the Graph, not the view:
+	// the view swap that invalidates the per-epoch cold caches is exactly
+	// what the maintained state survives.
+	maintMu    sync.Mutex
+	maintained map[measureKey]*core.Maintained
+
+	// dirtyLog records, per published epoch, the dirty-type delta its
+	// snapshot carried, so a maintained Discoverer several epochs behind
+	// can catch up with the union of the intervening deltas. Bounded to
+	// the most recent maxDirtyLog epochs; a gap forces a cold rebuild.
+	dirtyMu  sync.Mutex
+	dirtyLog map[uint64]dirtyEntry
+
+	// anytimeRefined is the highest epoch for which a background anytime
+	// refinement (or a certified exact serve) has completed; nil until the
+	// graph sees its first anytime request. Surfaced in the stats doc.
+	anytimeRefined atomic.Pointer[uint64]
 }
+
+// dirtyEntry is one epoch's delta in the dirty log.
+type dirtyEntry struct {
+	dirty      []graph.TypeID
+	structural bool
+}
+
+// maxDirtyLog bounds the dirty log: a maintained Discoverer more than
+// this many epochs stale rebuilds cold, which under sustained writes
+// never happens (it refreshes on every discovery request).
+const maxDirtyLog = 64
 
 // Name returns the registered name.
 func (gr *Graph) Name() string { return gr.name }
@@ -394,13 +481,17 @@ func (gr *Graph) view() *view { return gr.cur.Load() }
 
 // publish installs a new epoch view for snap unless a newer epoch is
 // already current (concurrent writers publish out of lock order), and
-// returns the view now current.
+// returns the view now current. The snapshot's dirty-type delta is
+// recorded (before the swap, so a request resolving the new view always
+// finds its epoch's entry) for incremental discovery catch-up.
 func (gr *Graph) publish(snap *dynamic.Snapshot) *view {
+	gr.recordDelta(snap)
 	nv := &view{
 		epoch:   snap.Epoch,
 		mutable: true,
 		stats:   snap.Stats,
 		g:       snap.Frozen,
+		gr:      gr,
 		par:     gr.reg.Parallelism,
 		scores:  snap.Scores,
 		discs:   make(map[measureKey]*discSlot),
@@ -415,6 +506,120 @@ func (gr *Graph) publish(snap *dynamic.Snapshot) *view {
 			return nv
 		}
 	}
+}
+
+// recordDelta files snap's dirty delta in the dirty log and trims
+// entries that have fallen out of the window.
+func (gr *Graph) recordDelta(snap *dynamic.Snapshot) {
+	gr.dirtyMu.Lock()
+	defer gr.dirtyMu.Unlock()
+	if gr.dirtyLog == nil {
+		gr.dirtyLog = make(map[uint64]dirtyEntry)
+	}
+	gr.dirtyLog[snap.Epoch] = dirtyEntry{dirty: snap.Dirty, structural: snap.Structural}
+	for e := range gr.dirtyLog {
+		if e+maxDirtyLog < snap.Epoch {
+			delete(gr.dirtyLog, e)
+		}
+	}
+}
+
+// deltaSince computes the union of dirty types over epochs (from, to],
+// from the dirty log. haveBase reports whether the caller has any state
+// at all (an uninitialized Maintained rebuilds cold regardless). The
+// returned structural flag is true when the union cannot be trusted —
+// an epoch's entry is missing (log trimmed, or the epoch predates this
+// process) or any intervening publication was itself structural (new
+// schema elements, recovery, resync re-bootstrap) — and the caller must
+// rebuild cold.
+func (gr *Graph) deltaSince(from uint64, haveBase bool, to uint64) ([]graph.TypeID, bool) {
+	if !haveBase {
+		return nil, true
+	}
+	gr.dirtyMu.Lock()
+	defer gr.dirtyMu.Unlock()
+	seen := make(map[graph.TypeID]struct{})
+	for e := from + 1; e <= to; e++ {
+		ent, ok := gr.dirtyLog[e]
+		if !ok || ent.structural {
+			return nil, true
+		}
+		for _, t := range ent.dirty {
+			seen[t] = struct{}{}
+		}
+	}
+	dirty := make([]graph.TypeID, 0, len(seen))
+	for t := range seen {
+		dirty = append(dirty, t)
+	}
+	sort.Slice(dirty, func(a, b int) bool { return dirty[a] < dirty[b] })
+	return dirty, false
+}
+
+// maintainedFor returns the graph's maintained discovery state for a
+// measure pair, refreshed to v's epoch (creating it, cold, on first
+// use). Returns nil when the state has already moved past v's epoch —
+// the caller's view is stale and must fall back to its own cold
+// Discoverer rather than roll the shared state backwards.
+func (gr *Graph) maintainedFor(v *view, km score.KeyMeasure, nm score.NonKeyMeasure) *core.Maintained {
+	mk := measureKey{key: km, nonKey: nm}
+	gr.maintMu.Lock()
+	if gr.maintained == nil {
+		gr.maintained = make(map[measureKey]*core.Maintained)
+	}
+	m := gr.maintained[mk]
+	if m == nil {
+		m = core.NewMaintained(core.Options{Key: km, NonKey: nm, Parallelism: v.par})
+		gr.maintained[mk] = m
+	}
+	gr.maintMu.Unlock()
+
+	epoch, ok := m.Epoch()
+	switch {
+	case ok && epoch == v.epoch:
+		return m
+	case ok && epoch > v.epoch:
+		return nil
+	}
+	dirty, structural := gr.deltaSince(epoch, ok, v.epoch)
+	// A concurrent refresh to a newer epoch wins benignly: Refresh
+	// ignores stale epochs, and DiscoverAt then reports ErrStaleEpoch.
+	m.Refresh(v.Scores(), v.epoch, dirty, structural)
+	return m
+}
+
+// noteRefined records that anytime refinement completed for epoch; the
+// watermark is monotone (a slower refinement for an older epoch never
+// regresses it).
+func (gr *Graph) noteRefined(epoch uint64) {
+	for {
+		old := gr.anytimeRefined.Load()
+		if old != nil && *old >= epoch {
+			return
+		}
+		e := epoch
+		if gr.anytimeRefined.CompareAndSwap(old, &e) {
+			return
+		}
+	}
+}
+
+// search runs one discovery at the view's epoch. Mutable graphs go
+// through the carried-forward incremental state — a certificate hit
+// skips the Apriori search entirely — and fall back to the view's own
+// cold Discoverer when the shared state has moved past this view's
+// epoch. Static graphs always use the cold path (their single view's
+// Discoverer cache already makes repeat discovery free).
+func (v *view) search(km score.KeyMeasure, nm score.NonKeyMeasure, c core.Constraint) (core.Preview, error) {
+	if v.mutable && v.gr != nil {
+		if m := v.gr.maintainedFor(v, km, nm); m != nil {
+			p, err := m.DiscoverAt(v.epoch, c)
+			if !errors.Is(err, core.ErrStaleEpoch) {
+				return p, err
+			}
+		}
+	}
+	return v.Discoverer(km, nm).Discover(c)
 }
 
 // Entity returns the graph behind the current view (for mutable graphs,

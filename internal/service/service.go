@@ -76,6 +76,18 @@ type Server struct {
 	// previewd exposes it as -no-response-cache.
 	NoCache bool
 
+	// AnytimeBudget caps candidate generation for the immediate answer of
+	// an ?anytime=1 preview request (core.Constraint.MaxCandidates for
+	// AnytimeBest). Zero means unlimited — the immediate answer is then
+	// already exact. previewd exposes it as -anytime-budget.
+	AnytimeBudget int
+
+	// forceCold routes every discovery through the per-view cold
+	// Discoverer, bypassing the carried-forward incremental state. Test
+	// hook: the differential suite uses a forceCold server as the
+	// byte-reference for a maintained one.
+	forceCold bool
+
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	list        listCache
@@ -97,6 +109,13 @@ const DefaultMaxBatchEdges = 50_000
 // DefaultMaxBatchEdges worth of triple lines).
 const DefaultMaxBodyBytes = 16 << 20
 
+// DefaultAnytimeBudget bounds the immediate answer of an anytime
+// request: small enough that the bounded DFS returns in milliseconds on
+// the 100k-entity bench graph, large enough to cover the full candidate
+// volume of the paper's domains at their default constraints (where the
+// "partial" answer is therefore already exact).
+const DefaultAnytimeBudget = 50_000
+
 // New returns a Server over reg with default limits.
 func New(reg *Registry) *Server {
 	return &Server{
@@ -104,6 +123,7 @@ func New(reg *Registry) *Server {
 		SearchBudget:  DefaultSearchBudget,
 		MaxBatchEdges: DefaultMaxBatchEdges,
 		MaxBodyBytes:  DefaultMaxBodyBytes,
+		AnytimeBudget: DefaultAnytimeBudget,
 	}
 }
 
@@ -144,6 +164,12 @@ type previewResponse struct {
 	Key        string            `json:"key_measure"`
 	NonKey     string            `json:"non_key_measure"`
 	Preview    render.PreviewDoc `json:"preview"`
+	// Converged is present on anytime requests only: false when the
+	// preview is the budget-bounded immediate answer (a background
+	// refinement is converging toward the exact one), true when it is the
+	// certified exact answer. The certification bit is part of the cache
+	// key, so each keyed body stays a pure function of (epoch, params).
+	Converged *bool `json:"converged,omitempty"`
 }
 
 // ServeHTTP implements http.Handler.
@@ -260,6 +286,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	names := s.reg.Names()
 	views := make([]*view, len(names))
+	refined := make([]*uint64, len(names))
 	var scope strings.Builder
 	scope.WriteString("graphs")
 	for i, name := range names {
@@ -268,14 +295,20 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		views[i] = gr.view()
+		refined[i] = gr.anytimeRefined.Load()
 		fmt.Fprintf(&scope, "\x00%s", views[i].etagScope(name))
+		if refined[i] != nil {
+			// Anytime convergence is in the body, so it must be in the
+			// key: a refinement landing between requests re-renders.
+			fmt.Fprintf(&scope, "|refined=%d", *refined[i])
+		}
 	}
 	composite := scope.String()
 	s.serveCached(w, r, composite, composite, &s.list, func() (*cacheEntry, error) {
 		doc := graphsDoc{Graphs: []render.GraphStatsDoc{}}
 		for i, name := range names {
 			if views[i] != nil {
-				doc.Graphs = append(doc.Graphs, statsFor(name, views[i]))
+				doc.Graphs = append(doc.Graphs, statsFor(name, views[i], refined[i]))
 			}
 		}
 		body, err := marshalJSONBody(doc)
@@ -290,8 +323,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, gr *Graph) 
 	// One view load: reading stats and epoch separately could pair an old
 	// epoch's counts with a concurrent writer's new epoch.
 	v := gr.view()
-	s.serveCached(w, r, v.etagScope(gr.Name()), "stats", v, func() (*cacheEntry, error) {
-		body, err := marshalJSONBody(statsFor(gr.Name(), v))
+	key := "stats"
+	refined := gr.anytimeRefined.Load()
+	if refined != nil {
+		// Convergence state is in the body, so it joins the cache key.
+		key = fmt.Sprintf("stats&refined=%d", *refined)
+	}
+	s.serveCached(w, r, v.etagScope(gr.Name()), key, v, func() (*cacheEntry, error) {
+		body, err := marshalJSONBody(statsFor(gr.Name(), v, refined))
 		if err != nil {
 			return nil, err
 		}
@@ -299,35 +338,134 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, gr *Graph) 
 	})
 }
 
-func statsFor(name string, v *view) render.GraphStatsDoc {
+// statsFor renders one graph's stats doc. refined is the node-local
+// anytime refinement watermark (nil until the graph's first anytime
+// request): the doc reports convergence relative to the view's epoch, so
+// "converged" flips false the instant a write publishes a newer epoch
+// and back true when refinement catches up.
+func statsFor(name string, v *view, refined *uint64) render.GraphStatsDoc {
 	doc := render.GraphStats(name, v.stats)
 	if v.mutable {
 		doc = doc.WithEpoch(v.epoch)
 	}
+	if refined != nil {
+		doc = doc.WithAnytime(*refined >= v.epoch, *refined)
+	}
 	return doc
 }
 
-// discover runs one validated discovery request against the epoch view's
-// cached Discoverer, mapping failures to HTTP statuses via httpError:
-// empty preview space is 422 (the request was well formed; the graph
-// just cannot satisfy it). Failures pass through the cache layer
-// uncached — only successful renders are retained.
+// discover runs one validated discovery request at the epoch view,
+// mapping failures to HTTP statuses via httpError: empty preview space
+// is 422 (the request was well formed; the graph just cannot satisfy
+// it). Failures pass through the cache layer uncached — only successful
+// renders are retained. Mutable graphs route through the carried-forward
+// incremental state (view.search); forceCold pins the per-view cold
+// Discoverer for the differential tests.
 func (s *Server) discover(v *view, p previewParams) (core.Preview, error) {
 	c := p.Constraint
 	c.MaxCandidates = s.SearchBudget
-	pv, err := v.Discoverer(p.Key, p.NonKey).Discover(c)
+	var (
+		pv  core.Preview
+		err error
+	)
+	if s.forceCold {
+		pv, err = v.Discoverer(p.Key, p.NonKey).Discover(c)
+	} else {
+		pv, err = v.search(p.Key, p.NonKey, c)
+	}
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, core.ErrNoPreview):
-			status = http.StatusUnprocessableEntity
-		case errors.Is(err, core.ErrSearchBudget):
-			status = http.StatusUnprocessableEntity
-			err = fmt.Errorf("%w: the distance constraint admits too many key-attribute subsets; tighten mode/d or lower k", err)
-		}
-		return core.Preview{}, &httpError{status: status, err: err}
+		return core.Preview{}, mapDiscoveryError(err)
 	}
 	return pv, nil
+}
+
+// mapDiscoveryError wraps a core discovery failure with its HTTP status.
+func mapDiscoveryError(err error) error {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrNoPreview):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrSearchBudget):
+		status = http.StatusUnprocessableEntity
+		err = fmt.Errorf("%w: the distance constraint admits too many key-attribute subsets; tighten mode/d or lower k", err)
+	}
+	return &httpError{status: status, err: err}
+}
+
+// anytimeCertified reports whether an anytime request can be answered
+// exactly without a full search: the maintained state holds a valid
+// certificate for (epoch, constraint) — or the mode is concise, where
+// exact discovery is already cheap. Within one epoch this can only flip
+// false→true, so it is usable as a cache-key bit. A true answer also
+// marks the epoch refined (the exact answer is about to be served).
+func (s *Server) anytimeCertified(gr *Graph, v *view, p previewParams) bool {
+	if s.forceCold {
+		// The differential reference serves exact answers only.
+		return true
+	}
+	c := p.Constraint
+	c.MaxCandidates = s.SearchBudget
+	if c.Mode == core.Concise {
+		gr.noteRefined(v.epoch)
+		return true
+	}
+	m := gr.maintainedFor(v, p.Key, p.NonKey)
+	if m == nil || !m.CertifiedAt(v.epoch, c) {
+		return false
+	}
+	gr.noteRefined(v.epoch)
+	return true
+}
+
+// anytimeDiscover answers an anytime request: exactly (through the
+// certificate fast path) when certified, otherwise with the
+// deterministic budget-bounded best-so-far, kicking off a background
+// refinement toward a certificate for this epoch.
+func (s *Server) anytimeDiscover(gr *Graph, v *view, p previewParams, certified bool) (core.Preview, error) {
+	if certified {
+		return s.discover(v, p)
+	}
+	ac := p.Constraint
+	ac.MaxCandidates = s.AnytimeBudget
+	var (
+		pv  core.Preview
+		err error
+	)
+	if m := gr.maintainedFor(v, p.Key, p.NonKey); m != nil {
+		pv, _, err = m.AnytimeAt(v.epoch, ac)
+	} else {
+		err = core.ErrStaleEpoch
+	}
+	if errors.Is(err, core.ErrStaleEpoch) {
+		// The shared state moved past this view's epoch; the view's own
+		// cold Discoverer is bit-identical to the maintained one at this
+		// epoch, so the bounded answer is the same bytes either way.
+		pv, _, err = v.Discoverer(p.Key, p.NonKey).AnytimeBest(ac)
+	}
+	go s.refineAnytime(gr, v, p)
+	if err != nil {
+		return core.Preview{}, mapDiscoveryError(err)
+	}
+	return pv, nil
+}
+
+// refineAnytime runs the full search for an anytime request in the
+// background, installing the certificate that lets the next request at
+// this epoch serve the exact answer, and recording convergence for the
+// stats doc. Concurrent refinements for one constraint collapse inside
+// Maintained; a refinement that loses an epoch race simply exits — the
+// newer epoch's own requests refine themselves.
+func (s *Server) refineAnytime(gr *Graph, v *view, p previewParams) {
+	c := p.Constraint
+	c.MaxCandidates = s.SearchBudget
+	m := gr.maintainedFor(v, p.Key, p.NonKey)
+	if m == nil {
+		return
+	}
+	_, err := m.DiscoverAt(v.epoch, c)
+	if err == nil || errors.Is(err, core.ErrNoPreview) || errors.Is(err, core.ErrSearchBudget) {
+		gr.noteRefined(v.epoch)
+	}
 }
 
 func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph) {
@@ -337,8 +475,28 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph
 		return
 	}
 	v := gr.view()
-	s.serveCached(w, r, v.etagScope(gr.Name()), "preview?"+p.canonical(), v, func() (*cacheEntry, error) {
-		pv, err := s.discover(v, p)
+	key := "preview?" + p.canonical()
+	var certified bool
+	if p.Anytime {
+		// The certification bit joins the cache key: the conv=false key
+		// maps to the deterministic budget-bounded body, the conv=true key
+		// to the exact body — each pure per (epoch, key). Within an epoch
+		// the bit only flips false→true, so a client polling the same URL
+		// sees the partial answer until refinement lands, then the exact
+		// one (under a new ETag).
+		certified = s.anytimeCertified(gr, v, p)
+		key += fmt.Sprintf("&converged=%t", certified)
+	}
+	s.serveCached(w, r, v.etagScope(gr.Name()), key, v, func() (*cacheEntry, error) {
+		var (
+			pv  core.Preview
+			err error
+		)
+		if p.Anytime {
+			pv, err = s.anytimeDiscover(gr, v, p, certified)
+		} else {
+			pv, err = s.discover(v, p)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -357,6 +515,10 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, gr *Graph
 			Key:        keyMeasureName(p.Key),
 			NonKey:     nonKeyMeasureName(p.NonKey),
 			Preview:    render.PreviewDocument(v.g, &pv, renderOptions(p)),
+		}
+		if p.Anytime {
+			c := certified
+			resp.Converged = &c
 		}
 		if v.mutable {
 			epoch := v.epoch
