@@ -15,6 +15,17 @@
 // Synthetic domains scale the graph up (-domain music -entities 30000);
 // write bodies are synthesized from the domain's own schema, so the
 // write arm works on any graph.
+//
+// With -target the generator instead drives a RUNNING server over HTTP
+// — a previewd node or the fleet router — discovering its graphs from
+// GET /v1/graphs and mixing reads and writes across all of them, so a
+// fleet run lands traffic on every shard:
+//
+//	loadgen -target http://127.0.0.1:8090 -workers 8 -duration 5s -write-every 32
+//
+// Targeted write bodies are synthesized from the fig1 schema (or from
+// -domain's schema when set), matching how previewd and the fleet
+// harness provision mutable graphs.
 package main
 
 import (
@@ -22,7 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/uta-db/previewtables/internal/dynamic"
@@ -47,7 +60,13 @@ func main() {
 	entities := flag.Int("entities", 0, "with -domain: target entity count")
 	seed := flag.Int64("seed", 1, "workload randomness seed")
 	out := flag.String("out", "", "write the JSON result here instead of stdout")
+	target := flag.String("target", "", "drive a running server at this base URL over HTTP (e.g. the fleet router) instead of an in-process handler; graphs are discovered from its /v1/graphs")
 	flag.Parse()
+
+	if *target != "" {
+		runTarget(*target, *workers, *duration, *writeEvery, *conditional, *domain, *entities, *seed, *out)
+		return
+	}
 
 	name, g := "fig1", fig1.Graph()
 	if *domain != "" {
@@ -113,16 +132,100 @@ func main() {
 		res.Requests, time.Since(start).Round(time.Millisecond), res.RPS,
 		res.P50MS, res.P99MS, res.Writes, res.NotModified, res.CacheHitRate)
 
+	emit(res, *out)
+}
+
+// runTarget is the -target mode: discover the server's graphs, spread
+// a mixed workload across all of them (so a fleet run touches every
+// shard), and report the same measurements as the in-process mode —
+// minus cache stats, which live behind the remote listener.
+func runTarget(base string, workers int, duration time.Duration, writeEvery int, conditional bool, domain string, entities int, seed int64, out string) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/graphs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s/v1/graphs: status %d", base, resp.StatusCode)
+	}
+	var doc struct {
+		Graphs []struct {
+			Name    string `json:"name"`
+			Mutable bool   `json:"mutable"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Graphs) == 0 {
+		log.Fatalf("target %s serves no graphs", base)
+	}
+
+	cfg := loadgen.Config{
+		Workers:     workers,
+		Duration:    duration,
+		ReadPaths:   []string{"/v1/graphs"},
+		Conditional: conditional,
+		Seed:        seed,
+	}
+	var names, writable []string
+	for _, g := range doc.Graphs {
+		names = append(names, g.Name)
+		gb := "/v1/graphs/" + g.Name
+		cfg.ReadPaths = append(cfg.ReadPaths,
+			gb+"/stats",
+			gb+"/preview?k=2&n=3&tuples=3",
+			gb+"/preview?k=3&n=6&key=coverage&nonkey=entropy",
+			gb+"/render?k=2&n=3&format=markdown",
+		)
+		if g.Mutable {
+			writable = append(writable, gb+"/edges")
+		}
+	}
+	log.Printf("target %s: %d graph(s): %v", base, len(names), names)
+	if writeEvery > 0 {
+		if len(writable) == 0 {
+			log.Fatalf("-write-every set but target %s serves no mutable graphs", base)
+		}
+		schema := fig1.Graph()
+		if domain != "" {
+			opts := freebase.DefaultGenOptions()
+			if entities > 0 {
+				opts.TargetEntities = entities
+			}
+			var err error
+			if schema, err = freebase.Generate(domain, opts); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cfg.WriteEvery = writeEvery
+		cfg.WriteRoutes = writable
+		cfg.WriteBody = writeBodyFor(schema)
+	}
+
+	start := time.Now()
+	res, err := loadgen.Run(loadgen.Remote(base), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d requests in %v: %.0f req/s, p50 %.3fms p99 %.3fms, %d writes, %d 304s",
+		res.Requests, time.Since(start).Round(time.Millisecond), res.RPS,
+		res.P50MS, res.P99MS, res.Writes, res.NotModified)
+	emit(res, out)
+}
+
+// emit prints the result JSON to stdout or -out.
+func emit(res loadgen.Result, out string) {
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -141,6 +141,7 @@ func main() {
 	}
 	wals := map[string]*storage.WAL{}
 	ckpts := map[string]*storage.Checkpointer{}
+	var replicaFollowers []*service.Follower
 	if *follow != "" {
 		if *ckptDir != "" {
 			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -170,6 +171,7 @@ func main() {
 				ckpts[f.Name()] = ck
 			}
 		}
+		replicaFollowers = followers
 	}
 	for _, load := range loads {
 		name, g, err := load()
@@ -236,6 +238,20 @@ func main() {
 	handler := service.New(reg)
 	handler.NoCache = *noRespCache
 	handler.AnytimeBudget = *anytimeBudget
+	if len(replicaFollowers) > 0 {
+		// POST /v1/replication/promote turns this replica into a leader:
+		// every replication loop stops (WALs stay open, so subsequent local
+		// writes keep their durability hook) and writes are accepted here.
+		handler.OnPromote = func() error {
+			for _, f := range replicaFollowers {
+				if err := f.Promote(); err != nil {
+					return err
+				}
+			}
+			log.Printf("promoted: now leading %d graph(s)", len(replicaFollowers))
+			return nil
+		}
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      handler,

@@ -1,0 +1,117 @@
+// Command previewrouter is the fleet's front door: it partitions graphs
+// across leader shards by consistent hashing, proxies writes to the
+// owning shard's leader, spreads reads across that shard's caught-up
+// replicas, and promotes the most-advanced replica when a leader stops
+// answering probes.
+//
+// Each -shard flag names one shard and its processes — the leader
+// (a previewd running -mutable -wal-dir) first, then any replicas
+// (previewd -follow pointed AT THIS ROUTER, so a leader swap needs no
+// replica reconfiguration):
+//
+//	previewrouter -addr :8090 \
+//	  -shard alpha=http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	  -shard beta=http://10.0.1.1:8080
+//
+// Shard IDs are the ring's hash keys: keep them stable across restarts
+// and config edits, or graphs will re-map. Adding or removing a shard
+// moves only ~1/N of the graphs (the consistent-hashing contract);
+// renaming one moves everything it owned.
+//
+// Graph placement must match ring ownership: the router forwards a
+// graph's requests to the shard the ring assigns it, so each graph has
+// to be provisioned on its owning shard. /v1/fleet lists every shard's
+// graphs; a graph served by a non-owning shard is unreachable through
+// the router and logged as a warning on each probe sweep that sees the
+// topology change.
+//
+// The router serves the same read discipline as a single previewd —
+// ETags, If-None-Match, HEAD, 404/405/503 ordering — plus /v1/fleet
+// (topology and per-replica lag) and a merged /v1/graphs spliced from
+// every shard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/uta-db/previewtables/internal/fleet"
+)
+
+// shardFlags collects repeated -shard values.
+type shardFlags []string
+
+func (s *shardFlags) String() string     { return strings.Join(*s, " ") }
+func (s *shardFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	log.SetPrefix("previewrouter: ")
+	log.SetFlags(0)
+
+	addr := flag.String("addr", ":8090", "listen address")
+	var shards shardFlags
+	flag.Var(&shards, "shard", "one shard as id=leaderURL[,followerURL...]; repeat per shard")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "how often to probe every node for liveness and replication lag")
+	failAfter := flag.Int("fail-after", fleet.DefaultFailAfter, "consecutive failed leader probes before failing over to a replica")
+	vnodes := flag.Int("vnodes", 0, "ring points per shard (0 = default); must match across router restarts for stable ownership")
+	flag.Parse()
+
+	specs, err := parseShards(shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := fleet.NewRouter(specs, fleet.RouterOptions{
+		Vnodes:    *vnodes,
+		FailAfter: *failAfter,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Start(*probeInterval)
+	defer rt.Stop()
+
+	for _, s := range specs {
+		log.Printf("shard %s: leader %s, %d replica(s)", s.ID, s.Leader, len(s.Followers))
+	}
+	log.Printf("routing %d shard(s) on %s", len(specs), *addr)
+	log.Fatal(http.ListenAndServe(*addr, rt))
+}
+
+// parseShards turns -shard flags into ShardSpecs.
+func parseShards(flags shardFlags) ([]fleet.ShardSpec, error) {
+	if len(flags) == 0 {
+		return nil, fmt.Errorf("at least one -shard id=leaderURL is required")
+	}
+	var specs []fleet.ShardSpec
+	for _, f := range flags {
+		id, rest, ok := strings.Cut(f, "=")
+		if !ok || id == "" || rest == "" {
+			return nil, fmt.Errorf("malformed -shard %q, want id=leaderURL[,followerURL...]", f)
+		}
+		urls := strings.Split(rest, ",")
+		for _, u := range urls {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("-shard %q: %q is not an http(s) URL", id, u)
+			}
+		}
+		specs = append(specs, fleet.ShardSpec{
+			ID:        id,
+			Leader:    strings.TrimRight(urls[0], "/"),
+			Followers: trimAll(urls[1:]),
+		})
+	}
+	return specs, nil
+}
+
+func trimAll(urls []string) []string {
+	out := make([]string, len(urls))
+	for i, u := range urls {
+		out[i] = strings.TrimRight(u, "/")
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package fleet
+
+// Fleet datapoints for BENCH_fleet.json: what the router costs on the
+// read path (one extra in-process HTTP hop vs hitting the shard
+// directly) and how long a failover takes from leader death to the
+// first write acknowledged by the promoted replica.
+//
+// Both run over real sockets — unlike the in-process loadgen numbers in
+// BENCH_serving.json — because the router's whole job is being a
+// network hop; measuring it handler-to-handler would hide exactly the
+// cost being asked about.
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkRouterReadOverhead compares a cached stats read served by
+// the shard directly against the same read through the router (which
+// adds one proxied hop and, with a caught-up replica registered, the
+// read-spreading decision).
+func BenchmarkRouterReadOverhead(b *testing.B) {
+	const g = "solo"
+	h := startFleet(b, []string{"alpha"}, []string{g}, 1, RouterOptions{})
+	h.mustPost(g, writeBody(g, 0))
+	h.quiesce()
+
+	for _, arm := range []struct {
+		name, base string
+	}{
+		{"direct", h.leaderBase("alpha")},
+		{"routed", h.ts.URL},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			url := arm.base + "/v1/graphs/" + g + "/stats"
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkFailover measures leader-death to first-acked-write through
+// the promoted replica: two probe sweeps (detection), the drain +
+// catch-up + promote sequence, and the router's leader swap. Each
+// iteration boots a fresh one-shard fleet with two replicas outside the
+// timed window.
+func BenchmarkFailover(b *testing.B) {
+	const g = "solo"
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := startFleet(b, []string{"alpha"}, []string{g}, 2, RouterOptions{FailAfter: 2})
+		for j := 0; j < 3; j++ {
+			h.mustPost(g, writeBody(g, i*10+j))
+		}
+		h.quiesce()
+		b.StartTimer()
+
+		h.leaders["alpha"].crash()
+		h.rt.ProbeAll()
+		h.rt.ProbeAll()
+		if got := h.rt.Failovers(); got != 1 {
+			b.Fatalf("failovers = %d, want 1", got)
+		}
+		if status, _ := h.post(g, writeBody(g, i*10+9)); status != http.StatusOK {
+			b.Fatalf("post-failover write: status %d", status)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1000/float64(b.N), "ms/failover")
+}

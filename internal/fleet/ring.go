@@ -1,0 +1,102 @@
+// Package fleet partitions a registry of entity graphs across leader
+// shards and fronts them with a single routing door: writes proxy to the
+// owning shard's leader, reads spread across that shard's caught-up
+// followers, and a dead leader is replaced by promoting its most
+// advanced follower (see router.go). Ownership is decided by the
+// consistent-hash ring in this file, so adding or removing a shard
+// remaps only the graphs that must move.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the number of virtual points each shard contributes
+// to the ring. More vnodes smooth the key distribution (the expected
+// share of each shard concentrates around 1/N) at a small cost in ring
+// size; 64 keeps the imbalance low for the shard counts a preview fleet
+// actually runs.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over shard IDs. Hashing is
+// sha256-based and involves no process state, so ownership is a pure
+// function of (shard set, vnodes, key): two routers configured with the
+// same shards — or one router across restarts — always agree.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards []string    // sorted, deduplicated
+	vnodes int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the given shard IDs with vnodes virtual
+// points per shard (<=0 means DefaultVnodes). Duplicate IDs collapse;
+// an empty shard set yields a ring whose Owner always returns "".
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(shards))
+	var uniq []string
+	for _, s := range shards {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{shards: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, s := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", s, i)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full-64-bit sha256 collision between vnode labels is not a
+		// practical concern, but break ties deterministically anyway so
+		// ownership never depends on sort stability.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Owner returns the shard owning key: the first ring point at or after
+// hash(key), wrapping past the top. Empty ring → "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the sorted shard IDs on the ring.
+func (r *Ring) Shards() []string {
+	out := make([]string, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// hashKey is the ring's hash: the first 8 bytes of sha256, big-endian.
+// sha256 (rather than a seeded fast hash) keeps placement identical
+// across processes, architectures and Go versions — the stability the
+// ownership property test pins.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

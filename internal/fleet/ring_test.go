@@ -1,0 +1,138 @@
+package fleet
+
+// Ring tests: the two properties the router's correctness leans on.
+//
+//   - determinism: ownership is a pure function of the shard set, so a
+//     restarted router (a fresh Ring over the same IDs) maps every graph
+//     to the same shard — no write can land on a non-owner after a
+//     restart;
+//   - minimal disruption: adding a shard steals keys only for the new
+//     shard, removing one moves only its own keys, and the stolen/moved
+//     fraction concentrates around 1/N.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("graph-%04d", i)
+	}
+	return keys
+}
+
+func shardIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%c", 'a'+i)
+	}
+	return ids
+}
+
+// TestRingDeterministicAcrossRestarts: two independently constructed
+// rings over the same shard set agree on every key — the "router
+// restart" property — and shard order / duplicates in the config don't
+// matter.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	keys := ringKeys(500)
+	a := NewRing([]string{"s1", "s2", "s3"}, 0)
+	b := NewRing([]string{"s3", "s1", "s2", "s1"}, 0) // shuffled + duplicate
+	for _, k := range keys {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("ownership of %q differs across ring constructions: %q vs %q", k, ao, bo)
+		}
+	}
+	if got := a.Owner("anything"); got == "" {
+		t.Fatal("non-empty ring returned no owner")
+	}
+	if got := NewRing(nil, 0).Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+// TestRingStability is the property test: for fleets of 2..6 shards,
+// adding one shard only ever moves keys TO the new shard (nothing
+// shuffles between survivors), removing one only moves the removed
+// shard's keys, and the displaced fraction is in a loose band around
+// 1/N — the consistent-hashing contract that makes shard membership
+// changes cheap.
+func TestRingStability(t *testing.T) {
+	keys := ringKeys(2000)
+	for n := 2; n <= 6; n++ {
+		ids := shardIDs(n)
+		base := NewRing(ids, 0)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = base.Owner(k)
+		}
+
+		// Add one shard: every remap must target the newcomer.
+		added := NewRing(append(append([]string{}, ids...), "shard-new"), 0)
+		moved := 0
+		for _, k := range keys {
+			if got := added.Owner(k); got != before[k] {
+				if got != "shard-new" {
+					t.Fatalf("n=%d add: key %q moved %q → %q, not to the new shard", n, k, before[k], got)
+				}
+				moved++
+			}
+		}
+		assertFraction(t, fmt.Sprintf("n=%d add", n), moved, len(keys), 1.0/float64(n+1))
+
+		// Remove one shard: only its keys move, each to a survivor.
+		victim := ids[0]
+		removed := NewRing(ids[1:], 0)
+		moved = 0
+		for _, k := range keys {
+			got := removed.Owner(k)
+			if before[k] == victim {
+				if got == victim {
+					t.Fatalf("n=%d remove: key %q still owned by removed shard", n, k)
+				}
+				moved++
+			} else if got != before[k] {
+				t.Fatalf("n=%d remove: key %q moved %q → %q though its owner survived", n, k, before[k], got)
+			}
+		}
+		assertFraction(t, fmt.Sprintf("n=%d remove", n), moved, len(keys), 1.0/float64(n))
+	}
+}
+
+// assertFraction checks moved/total is within a generous band around
+// the ideal fraction. Vnode placement is random-like, so the observed
+// share wobbles; a [¼×, 3×] band catches gross breakage (everything
+// moved, nothing moved, one shard owning half the ring) without flaking.
+func assertFraction(t *testing.T, what string, moved, total int, ideal float64) {
+	t.Helper()
+	frac := float64(moved) / float64(total)
+	if frac < ideal/4 || frac > math.Min(1, ideal*3) {
+		t.Errorf("%s: moved %d/%d = %.3f of keys, want ≈%.3f (band [%.3f, %.3f])",
+			what, moved, total, frac, ideal, ideal/4, ideal*3)
+	}
+}
+
+// TestRingBalance: with DefaultVnodes the largest shard's share stays
+// within 2× of fair — the distribution guarantee read-spreading and
+// capacity planning assume.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(4000)
+	for _, n := range []int{2, 3, 5} {
+		r := NewRing(shardIDs(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d shards own keys: %v", n, len(counts), counts)
+		}
+		fair := float64(len(keys)) / float64(n)
+		for s, c := range counts {
+			if float64(c) > 2*fair {
+				t.Errorf("n=%d: shard %s owns %d keys, more than 2× the fair share %.0f", n, s, c, fair)
+			}
+		}
+	}
+}

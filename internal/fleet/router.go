@@ -1,0 +1,524 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Header names shared with internal/service. The router mints no epochs
+// and names no leaders itself — those headers arrive from the backends
+// and are copied through verbatim — but it does stamp elapsed time on
+// the responses it synthesizes (the merged list, /v1/fleet).
+const (
+	elapsedHeader = "X-Previewtables-Elapsed"
+	leaderHeader  = "X-Previewtables-Leader"
+)
+
+// DefaultFailAfter is how many consecutive failed leader probes trigger
+// a failover. One transient connection blip should not depose a leader.
+const DefaultFailAfter = 2
+
+// DefaultProbeTimeout bounds each health/lag probe request. Probes must
+// fail fast — a hung leader is exactly the case they exist to detect.
+const DefaultProbeTimeout = 2 * time.Second
+
+// ShardSpec configures one shard at router construction: a leader
+// serving `-mutable -wal-dir` plus any number of read replicas
+// following it (directly or through this router).
+type ShardSpec struct {
+	ID        string
+	Leader    string
+	Followers []string
+}
+
+// RouterOptions tunes a Router. The zero value is usable.
+type RouterOptions struct {
+	Vnodes       int           // ring points per shard (<=0 = DefaultVnodes)
+	FailAfter    int           // consecutive leader-probe failures before failover (<=0 = DefaultFailAfter)
+	ProbeTimeout time.Duration // per-probe request bound (<=0 = DefaultProbeTimeout)
+	Logf         func(format string, args ...any)
+}
+
+// backend is one node of a shard as the router sees it: its base URL
+// plus the probe loop's latest verdict. All mutable fields are guarded
+// by the Router's mu.
+type backend struct {
+	url   string
+	fails int               // consecutive failed probes
+	lag   map[string]uint64 // per-graph replication lag, present only when known
+}
+
+// shard is a leader plus its followers, with a round-robin cursor for
+// read spreading.
+type shard struct {
+	id        string
+	leader    *backend
+	followers []*backend
+	graphs    []string // sorted; discovered from the leader's /v1/graphs
+	rr        uint64
+	// replSrc, when non-nil, overrides where a graph's replication
+	// routes forward — set only during a failover's catch-up phase,
+	// pointing each graph at the most-advanced surviving follower so
+	// the promotion candidate (whose polls flow through the router)
+	// can pull the epochs it is missing before it starts leading.
+	replSrc map[string]string
+}
+
+// Router is the fleet's front door: an http.Handler that owns no graph
+// data, only the ring and the shard map. Reads for a graph go to a
+// caught-up follower of the owning shard (falling back to the leader),
+// every other method goes to the owning leader, and the replication
+// endpoints are forwarded to the leader so followers can tail through
+// the router — which is what makes failover transparent to survivors:
+// when a leader dies and a follower is promoted, the router re-points
+// the forwarding and the remaining followers keep tailing without
+// being reconfigured.
+type Router struct {
+	ring      *Ring
+	failAfter int
+	logf      func(string, ...any)
+
+	// proxy forwards client traffic: no timeout, because the replication
+	// WAL route long-polls (up to DefaultReplicationWait) and a router
+	// must not sever a healthy long-poll. probe is the opposite: every
+	// health/lag check must return fast or count as a failure.
+	proxy *http.Client
+	probe *http.Client
+
+	mu        sync.RWMutex
+	shards    map[string]*shard
+	failovers int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRouter builds a router over the given shards. The ring is built
+// once from the shard IDs; graph ownership is fixed for the router's
+// lifetime (failover replaces a shard's leader, not the shard).
+func NewRouter(specs []ShardSpec, opts RouterOptions) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: a router needs at least one shard")
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = DefaultFailAfter
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = DefaultProbeTimeout
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		failAfter: opts.FailAfter,
+		logf:      opts.Logf,
+		proxy:     &http.Client{},
+		probe:     &http.Client{Timeout: opts.ProbeTimeout},
+		shards:    make(map[string]*shard, len(specs)),
+	}
+	ids := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		if sp.ID == "" || sp.Leader == "" {
+			return nil, fmt.Errorf("fleet: shard needs an id and a leader URL, got %+v", sp)
+		}
+		if _, dup := rt.shards[sp.ID]; dup {
+			return nil, fmt.Errorf("fleet: duplicate shard id %q", sp.ID)
+		}
+		sh := &shard{id: sp.ID, leader: &backend{url: strings.TrimRight(sp.Leader, "/")}}
+		for _, f := range sp.Followers {
+			sh.followers = append(sh.followers, &backend{url: strings.TrimRight(f, "/")})
+		}
+		rt.shards[sp.ID] = sh
+		ids = append(ids, sp.ID)
+	}
+	rt.ring = NewRing(ids, opts.Vnodes)
+	return rt, nil
+}
+
+// AddFollower registers a follower with a shard after construction —
+// the boot order in tests (and rolling deploys) starts the router
+// first, then followers that tail through it.
+func (rt *Router) AddFollower(shardID, url string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh, ok := rt.shards[shardID]
+	if !ok {
+		return fmt.Errorf("fleet: no shard %q", shardID)
+	}
+	sh.followers = append(sh.followers, &backend{url: strings.TrimRight(url, "/")})
+	return nil
+}
+
+// Owner returns the shard ID owning a graph name.
+func (rt *Router) Owner(graph string) string { return rt.ring.Owner(graph) }
+
+// Failovers reports how many leader promotions this router has driven.
+func (rt *Router) Failovers() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.failovers
+}
+
+// ServeHTTP implements the fleet front door. The route discipline
+// mirrors internal/service exactly — resource existence first (404
+// whatever the method), then the route's method set (405 with accurate
+// Allow) — with everything graph-scoped forwarded to the owning shard,
+// which settles the rest (its own 404s, 405s, and the follower 503).
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		if !rt.requireRead(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	case path == "/v1/fleet":
+		if !rt.requireRead(w, r) {
+			return
+		}
+		rt.handleFleet(w, r)
+	case path == "/v1/graphs" || path == "/v1/graphs/":
+		if !rt.requireRead(w, r) {
+			return
+		}
+		rt.handleMergedList(w, r)
+	case strings.HasPrefix(path, "/v1/graphs/"):
+		graph, _, _ := strings.Cut(strings.TrimPrefix(path, "/v1/graphs/"), "/")
+		rt.forwardGraph(w, r, graph, r.Method == http.MethodGet || r.Method == http.MethodHead)
+	case path == "/v1/replication/promote":
+		// The node-level promote action exists on follower processes, not
+		// on the router: the router is nobody's replica.
+		rt.writeError(w, http.StatusNotFound,
+			fmt.Errorf("the router is not a follower; promote a shard's replica directly"))
+	case strings.HasPrefix(path, "/v1/replication/"):
+		graph, _, _ := strings.Cut(strings.TrimPrefix(path, "/v1/replication/"), "/")
+		rt.forwardRepl(w, r, graph)
+	default:
+		rt.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", path))
+	}
+}
+
+// forwardGraph proxies a graph-scoped request to the owning shard:
+// reads (spread=true) to a caught-up follower with leader fallback,
+// everything else to the leader.
+func (rt *Router) forwardGraph(w http.ResponseWriter, r *http.Request, graph string, spread bool) {
+	owner := rt.ring.Owner(graph)
+	rt.mu.RLock()
+	sh := rt.shards[owner]
+	rt.mu.RUnlock()
+	if sh == nil {
+		// Unreachable with a non-empty ring, but never answer with a nil
+		// dereference if the shard map and ring ever disagree.
+		rt.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard owns graph %q", graph))
+		return
+	}
+	if spread {
+		if f := rt.pickFollower(sh, graph); f != "" {
+			if rt.proxyTo(w, r, f) {
+				return
+			}
+			// The chosen follower died between probe and proxy: fall
+			// through to the leader rather than failing the read.
+		}
+	}
+	rt.mu.RLock()
+	leaderURL := sh.leader.url
+	rt.mu.RUnlock()
+	if !rt.proxyTo(w, r, leaderURL) {
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("shard %q is unreachable", owner))
+	}
+}
+
+// forwardRepl proxies a replication route for a graph. Normally the
+// owning leader answers — its WAL is the shard's authoritative log —
+// but during a failover's catch-up phase the route is overridden to
+// the most-advanced surviving follower for that graph (followers serve
+// the same replication routes from their own WALs, record for record
+// as shipped), so the promotion candidate can pull the epochs it is
+// missing through the same path it always tails.
+func (rt *Router) forwardRepl(w http.ResponseWriter, r *http.Request, graph string) {
+	owner := rt.ring.Owner(graph)
+	rt.mu.RLock()
+	sh := rt.shards[owner]
+	var target string
+	if sh != nil {
+		target = sh.leader.url
+		if u, ok := sh.replSrc[graph]; ok {
+			target = u
+		}
+	}
+	rt.mu.RUnlock()
+	if sh == nil {
+		rt.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard owns graph %q", graph))
+		return
+	}
+	if !rt.proxyTo(w, r, target) {
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("shard %q replication source is unreachable", owner))
+	}
+}
+
+// pickFollower returns the URL of a healthy, caught-up-on-graph
+// follower, round-robin across candidates; "" when none qualifies.
+// "Caught up" means the last probe saw replication lag 0 for this graph
+// — decidable because every follower publishes contiguous epochs, so
+// applied == leader-epoch is the whole story, not a lower bound.
+func (rt *Router) pickFollower(sh *shard, graph string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var candidates []string
+	for _, f := range sh.followers {
+		if f.fails == 0 && f.lag != nil {
+			if lag, known := f.lag[graph]; known && lag == 0 {
+				candidates = append(candidates, f.url)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	sh.rr++
+	return candidates[sh.rr%uint64(len(candidates))]
+}
+
+// proxyTo forwards the request verbatim to base and copies the response
+// back verbatim — status, every header, every body byte — so the router
+// adds nothing and strips nothing: ETags, conditional 304s, epoch and
+// leader headers, HEAD semantics are all the backend's own. Returns
+// false only when the backend could not be reached (nothing written),
+// letting the caller fall back; once any byte is written the response
+// is committed.
+func (rt *Router) proxyTo(w http.ResponseWriter, r *http.Request, base string) bool {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		rt.writeError(w, http.StatusBadGateway, err)
+		return true
+	}
+	out.Header = r.Header.Clone()
+	resp, err := rt.proxy.Do(out)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// shardList is the part of a backend's /v1/graphs body the merger needs:
+// entries stay raw so the splice is byte-preserving, with only the name
+// peeked at for ordering.
+type shardList struct {
+	Graphs []json.RawMessage `json:"graphs"`
+}
+
+// handleMergedList answers GET /v1/graphs with the union of every
+// shard's list: entries spliced verbatim (byte-identical to the owning
+// shard's rendering) and sorted by graph name, under a derived strong
+// ETag — sha256 over the per-shard ETags — so the merged document is
+// conditional-GET cacheable exactly like a single node's: any shard
+// publishing an epoch changes its own list ETag and therefore ours.
+func (rt *Router) handleMergedList(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.mu.RLock()
+	type target struct{ id, url string }
+	targets := make([]target, 0, len(rt.shards))
+	for id, sh := range rt.shards {
+		targets = append(targets, target{id, sh.leader.url})
+	}
+	rt.mu.RUnlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+
+	type entry struct {
+		name string
+		raw  json.RawMessage
+	}
+	var entries []entry
+	var scope strings.Builder
+	scope.WriteString("fleet-graphs")
+	for _, tg := range targets {
+		resp, err := rt.proxy.Get(tg.url + "/v1/graphs")
+		if err != nil {
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf("listing shard %q: %w", tg.id, err))
+			return
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rt.writeError(w, http.StatusBadGateway,
+				fmt.Errorf("listing shard %q: status %d (%v)", tg.id, resp.StatusCode, err))
+			return
+		}
+		var doc shardList
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf("listing shard %q: %w", tg.id, err))
+			return
+		}
+		for _, g := range doc.Graphs {
+			var peek struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(g, &peek); err != nil {
+				rt.writeError(w, http.StatusBadGateway, fmt.Errorf("listing shard %q: %w", tg.id, err))
+				return
+			}
+			entries = append(entries, entry{name: peek.Name, raw: g})
+		}
+		fmt.Fprintf(&scope, "\n%s=%s", tg.id, resp.Header.Get("ETag"))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	sum := sha256.Sum256([]byte(scope.String()))
+	etag := `"` + hex.EncodeToString(sum[:16]) + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	setElapsed(h, start)
+	if inm := r.Header.Get("If-None-Match"); inm == "*" || (inm != "" && etagMatches(inm, etag)) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	merged := shardList{Graphs: make([]json.RawMessage, 0, len(entries))}
+	for _, e := range entries {
+		merged.Graphs = append(merged.Graphs, e.raw)
+	}
+	body, err := marshalJSONBody(merged)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// fleetDoc is the JSON body of GET /v1/fleet: the router's own view of
+// the topology — who leads, who follows at what lag, and how many
+// failovers it has driven.
+type fleetDoc struct {
+	Shards    []fleetShardDoc `json:"shards"`
+	Failovers int             `json:"failovers"`
+}
+
+type fleetShardDoc struct {
+	ID        string         `json:"id"`
+	Leader    string         `json:"leader"`
+	Graphs    []string       `json:"graphs"`
+	Followers []fleetNodeDoc `json:"followers"`
+}
+
+type fleetNodeDoc struct {
+	URL     string            `json:"url"`
+	Healthy bool              `json:"healthy"`
+	Lag     map[string]uint64 `json:"lag,omitempty"`
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.mu.RLock()
+	doc := fleetDoc{Shards: []fleetShardDoc{}, Failovers: rt.failovers}
+	for _, sh := range rt.shards {
+		sd := fleetShardDoc{
+			ID:        sh.id,
+			Leader:    sh.leader.url,
+			Graphs:    append([]string{}, sh.graphs...),
+			Followers: []fleetNodeDoc{},
+		}
+		for _, f := range sh.followers {
+			var lag map[string]uint64
+			if f.lag != nil {
+				lag = make(map[string]uint64, len(f.lag))
+				for g, l := range f.lag {
+					lag[g] = l
+				}
+			}
+			sd.Followers = append(sd.Followers, fleetNodeDoc{URL: f.url, Healthy: f.fails == 0, Lag: lag})
+		}
+		doc.Shards = append(doc.Shards, sd)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(doc.Shards, func(i, j int) bool { return doc.Shards[i].ID < doc.Shards[j].ID })
+
+	body, err := marshalJSONBody(doc)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	setElapsed(h, start)
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// requireRead admits GET and HEAD, mirroring internal/service.
+func (rt *Router) requireRead(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	rt.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	return false
+}
+
+// writeError mirrors internal/service's error shape so clients see one
+// error dialect whether a response came from a shard or the router.
+func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// etagMatches mirrors internal/service's weak comparison (RFC 9110
+// §8.8.3.2): a W/ prefix is ignored; "*" is the caller's decision.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		t := strings.TrimSpace(part)
+		t = strings.TrimPrefix(t, "W/")
+		if t == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// marshalJSONBody mirrors internal/service's body encoding — no HTML
+// escaping, trailing newline — so spliced documents stay byte-identical
+// to what a single node would stream.
+func marshalJSONBody(v any) ([]byte, error) {
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return []byte(buf.String()), nil
+}
+
+func setElapsed(h http.Header, start time.Time) {
+	h.Set(elapsedHeader, strconv.FormatFloat(float64(time.Since(start).Microseconds())/1000, 'f', -1, 64))
+}

@@ -22,6 +22,7 @@ package loadgen
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -50,6 +51,10 @@ type Config struct {
 	// WriteRoute, when non-empty, is the POST target (e.g.
 	// "/v1/graphs/bench/edges") for the write arm of the workload.
 	WriteRoute string
+	// WriteRoutes spreads the write arm round-robin across several POST
+	// targets — one per graph when driving a fleet, so writes land on
+	// every shard. When set it supersedes WriteRoute.
+	WriteRoutes []string
 	// WriteBody produces the i-th write's request body. Bodies should
 	// be pairwise distinct so every write is a real mutation (and a
 	// real epoch, invalidating the response cache).
@@ -129,8 +134,11 @@ func Run(h http.Handler, cfg Config) (Result, error) {
 	if len(cfg.ReadPaths) == 0 {
 		return Result{}, fmt.Errorf("loadgen: no read paths")
 	}
-	if cfg.WriteEvery > 0 && (cfg.WriteRoute == "" || cfg.WriteBody == nil) {
-		return Result{}, fmt.Errorf("loadgen: WriteEvery set without WriteRoute and WriteBody")
+	if len(cfg.WriteRoutes) == 0 && cfg.WriteRoute != "" {
+		cfg.WriteRoutes = []string{cfg.WriteRoute}
+	}
+	if cfg.WriteEvery > 0 && (len(cfg.WriteRoutes) == 0 || cfg.WriteBody == nil) {
+		return Result{}, fmt.Errorf("loadgen: WriteEvery set without WriteRoutes and WriteBody")
 	}
 	for _, p := range cfg.ReadPaths {
 		s := &sink{h: make(http.Header)}
@@ -249,7 +257,8 @@ func (w *worker) doRead(h http.Handler, cfg Config) {
 }
 
 func (w *worker) doWrite(h http.Handler, cfg Config, n int) {
-	req := httptest.NewRequest(http.MethodPost, cfg.WriteRoute, strings.NewReader(cfg.WriteBody(n)))
+	route := cfg.WriteRoutes[n%len(cfg.WriteRoutes)]
+	req := httptest.NewRequest(http.MethodPost, route, strings.NewReader(cfg.WriteBody(n)))
 	req.Header.Set("Content-Type", "application/json")
 	s := &sink{h: make(http.Header)}
 	t0 := time.Now()
@@ -257,8 +266,42 @@ func (w *worker) doWrite(h http.Handler, cfg Config, n int) {
 	w.latencies = append(w.latencies, time.Since(t0))
 	w.writes++
 	if s.status != http.StatusOK {
-		w.errs = append(w.errs, fmt.Sprintf("POST %s: status %d", cfg.WriteRoute, s.status))
+		w.errs = append(w.errs, fmt.Sprintf("POST %s: status %d", route, s.status))
 	}
+}
+
+// Remote adapts a live HTTP endpoint into the http.Handler the
+// generator drives: each in-process request is re-issued as a real
+// request against base, and the response is copied back verbatim. The
+// same workload, warmup and measurement code then exercises a running
+// previewd node or the fleet router over actual sockets — which is the
+// point when measuring router overhead: the wire belongs in the path.
+func Remote(base string) http.Handler {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out, err := http.NewRequest(r.Method, base+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, err)
+			return
+		}
+		out.Header = r.Header.Clone()
+		resp, err := client.Do(out)
+		if err != nil {
+			// Surfaces in the run's error tally with the request line.
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	})
 }
 
 // percentile reads the p-quantile from an ascending latency slice by

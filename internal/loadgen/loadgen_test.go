@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -101,6 +102,57 @@ func TestRunConditional(t *testing.T) {
 	// revalidate: the 200s are bounded by workers × paths.
 	if full := res.Reads - res.NotModified; full > res.Workers*len(readPaths) {
 		t.Fatalf("%d full responses, want at most workers×paths = %d", full, res.Workers*len(readPaths))
+	}
+}
+
+// TestRunRemoteMultiGraph: the Remote adapter drives a real listener
+// over sockets, with the write arm round-robined across two graphs'
+// write routes — the shape `loadgen -target` uses against a fleet.
+func TestRunRemoteMultiGraph(t *testing.T) {
+	reg := service.NewRegistry()
+	for _, name := range []string{"left", "right"} {
+		dg, err := dynamic.FromEntityGraph(fig1.Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := dynamic.NewLive(dg, score.DefaultWalkOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.AddLive(name, live); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(service.New(reg))
+	defer ts.Close()
+
+	res, err := Run(Remote(ts.URL), Config{
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		ReadPaths: []string{
+			"/v1/graphs",
+			"/v1/graphs/left/stats",
+			"/v1/graphs/right/preview?k=2&n=3",
+		},
+		WriteRoutes: []string{"/v1/graphs/left/edges", "/v1/graphs/right/edges"},
+		WriteBody:   edgeBody,
+		WriteEvery:  8,
+		Conditional: true,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	// Round-robin across two routes: both graphs must have been written,
+	// which shows as at least two writes whenever any landed.
+	if res.Writes < 2 {
+		t.Fatalf("write arm produced %d writes, want ≥2 across both routes", res.Writes)
+	}
+	if res.NotModified == 0 {
+		t.Fatal("conditional remote run produced no 304s: ETags did not survive the wire")
 	}
 }
 

@@ -187,6 +187,37 @@ func (f *Follower) Stop() {
 	}
 }
 
+// Promote turns a durable follower into the leader for its graph: the
+// replication loop stops (nothing shipped can land after this returns),
+// the follow status clears so the replication status doc reports
+// "leader", and the registry's write endpoints re-open. The local WAL
+// stays open — it was already logging every shipped batch before its
+// epoch published, so the first locally accepted write appends to it at
+// the next epoch exactly as it would have on the old leader, and the
+// node can ship its own WAL to the surviving followers.
+//
+// Safety rests on two invariants the replication layer already
+// enforces: a record is fsynced before its epoch publishes (so this
+// node holds only epochs the dead leader durably published), and every
+// applied epoch is its predecessor + 1 (so the held prefix is
+// contiguous — no phantom or gapped epochs). A volatile follower has no
+// WAL to lead from and refuses.
+//
+// Promotion does not fence the old leader: the caller (the fleet
+// router) must have stopped routing writes to it first, and a revived
+// old leader must rejoin as a fresh follower rather than resume
+// writing.
+func (f *Follower) Promote() error {
+	if f.wal == nil {
+		return errors.New("service: cannot promote a volatile follower; it has no WAL to lead from")
+	}
+	f.cancel()
+	<-f.done
+	f.gr.follow.Store(nil)
+	f.reg.SetLeader("")
+	return nil
+}
+
 // Name returns the replicated graph's name.
 func (f *Follower) Name() string { return f.name }
 

@@ -88,8 +88,14 @@ type replStatusDoc struct {
 	Error string `json:"error,omitempty"`
 }
 
-// handleReplication dispatches /v1/replication/{graph}/{action}.
+// handleReplication dispatches /v1/replication/{graph}/{action}, plus
+// the node-level promote action (no graph segment: promotion flips the
+// whole node, every followed graph at once).
 func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request, rest string) {
+	if rest == "promote" {
+		s.handlePromote(w, r)
+		return
+	}
 	name, action, ok := strings.Cut(rest, "/")
 	if !ok || name == "" || strings.Contains(action, "/") {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
@@ -126,6 +132,31 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request, rest 
 	case "checkpoint":
 		s.handleReplCheckpoint(w, gr, src)
 	}
+}
+
+// handlePromote serves POST /v1/replication/promote: the admin action a
+// fleet router invokes on a caught-up follower when its leader dies.
+// The route exists only on nodes started as followers (Server.OnPromote
+// set) — everywhere else it answers 404, before any method check, like
+// every other nonexistent resource.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.OnPromote == nil {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("this node is not a follower; there is nothing to promote"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if err := s.OnPromote(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("promoting: %w", err))
+		return
+	}
+	s.writeJSON(w, struct {
+		Promoted bool `json:"promoted"`
+	}{Promoted: true})
 }
 
 // walRange reads the shippable bracket: the durable epoch and the lowest

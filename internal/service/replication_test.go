@@ -59,7 +59,9 @@ func startFollowerNode(t testing.TB, leaderURL, ckptDir, walRoot string, mut ...
 		t.Fatal(err)
 	}
 	t.Cleanup(f.Stop)
-	ts := httptest.NewServer(New(reg))
+	srv := New(reg)
+	srv.OnPromote = f.Promote
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return &followerNode{reg: reg, f: f, ts: ts}
 }
@@ -556,6 +558,13 @@ func TestReplicationRouteDiscipline(t *testing.T) {
 		// A mutable graph's write routes are POST-only.
 		{"mutable write GET", leader.ts, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("POST")}},
 		{"mutable write PUT", leader.ts, "PUT", "/v1/graphs/fig1/triples", want{status: 405, allow: str("POST")}},
+		// The promote action exists only on follower nodes: a leader (or a
+		// static server) has nothing to promote, so the resource itself is
+		// absent — 404 before any method check; on a follower it is
+		// POST-only like every other state-changing action.
+		{"promote on leader", leader.ts, "POST", "/v1/replication/promote", want{status: 404}},
+		{"promote on static server", staticTS, "POST", "/v1/replication/promote", want{status: 404}},
+		{"promote wrong method", follower.ts, "GET", "/v1/replication/promote", want{status: 405, allow: str("POST")}},
 		// A follower's write routes exist and are POST-only, but POST is
 		// the leader's to accept.
 		{"follower write GET", follower.ts, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("POST")}},

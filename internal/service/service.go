@@ -82,6 +82,15 @@ type Server struct {
 	// already exact. previewd exposes it as -anytime-budget.
 	AnytimeBudget int
 
+	// OnPromote, when set, makes POST /v1/replication/promote turn this
+	// node from a follower into a leader (see Follower.Promote). The
+	// process that started the followers wires it — previewd -follow and
+	// the fleet test harness promote every follower on the registry and
+	// clear the leader mark. Nil means the route does not exist on this
+	// node (leaders and static servers answer 404), which keeps the
+	// 404→405 discipline: resource existence is decided before method.
+	OnPromote func() error
+
 	// forceCold routes every discovery through the per-view cold
 	// Discoverer, bypassing the carried-forward incremental state. Test
 	// hook: the differential suite uses a forceCold server as the
