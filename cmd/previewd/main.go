@@ -114,8 +114,12 @@ func main() {
 	walkOpts := score.DefaultWalkOptions()
 	walkOpts.Parallelism = workers
 
-	if len(loads) == 0 && *follow == "" {
-		fmt.Fprintln(os.Stderr, "previewd: no graphs; pass at least one -graph name=path or -domain name (or -follow a leader)")
+	if len(loads) == 0 && *follow == "" && !(*mutable && *walDir != "") {
+		// A durable mutable node may legitimately start empty: it is a
+		// migration target, acquiring graphs at runtime through the fleet
+		// router's adoption pipeline (and re-recovering them from local
+		// state on restart).
+		fmt.Fprintln(os.Stderr, "previewd: no graphs; pass at least one -graph name=path or -domain name (or -follow a leader, or -mutable -wal-dir to start empty as a migration target)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,6 +141,20 @@ func main() {
 		}
 		if (*ckptDir == "") != (*walDir == "") {
 			log.Fatal("a durable replica needs -checkpoint-dir and -wal-dir together (the checkpoint anchors the local WAL's epoch base)")
+		}
+	}
+	if *walDir != "" {
+		// Arm write fencing before anything serves or tails: the fleet
+		// router stamps every proxied write with this node's shard fence,
+		// and a stale stamp — a deposed leader's, or a write routed under
+		// superseded membership — is refused with 409 instead of being
+		// acknowledged. The fence persists next to the WAL manifests so a
+		// restart cannot forget it was deposed.
+		if err := reg.EnableFencing(*walDir); err != nil {
+			log.Fatal(err)
+		}
+		if f, on := reg.Fencing(); on && f > 0 {
+			log.Printf("fencing: recovered epoch %d", f)
 		}
 	}
 	wals := map[string]*storage.WAL{}
@@ -217,6 +235,18 @@ func main() {
 			}
 		}
 	}
+	if *mutable && *walDir != "" && *ckptDir != "" {
+		// Graphs adopted at runtime (fleet migration) are registered by no
+		// flag; their checkpoint manifests are how a restart finds them.
+		recovered, err := service.RecoverAdopted(reg, *ckptDir, *walDir, walkOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for name, rec := range recovered {
+			log.Printf("graph %q: recovered adopted graph to epoch %d", name, rec.Live.Snapshot().Epoch)
+			wals[name] = rec.WAL
+		}
+	}
 	if *warm {
 		for _, name := range reg.Names() {
 			gr, ok := reg.Get(name)
@@ -238,6 +268,29 @@ func main() {
 	handler := service.New(reg)
 	handler.NoCache = *noRespCache
 	handler.AnytimeBudget = *anytimeBudget
+	if *mutable && *walDir != "" && *ckptDir != "" {
+		// A durable leader participates in fleet graph migration: adopt
+		// tails a graph from its old owner, promote opens it for writes
+		// after cutover, drop cleans up the source side. All three routes
+		// are fence-gated; only the fleet router drives them.
+		adopter := service.NewAdopter(reg, service.FollowerOptions{
+			Walk:          walkOpts,
+			CheckpointDir: *ckptDir,
+			WALRoot:       *walDir,
+		})
+		handler.OnAdopt = func(graph, source string) error {
+			log.Printf("graph %q: adopting from %s", graph, source)
+			return adopter.Adopt(graph, source)
+		}
+		handler.OnGraphPromote = func(graph string) error {
+			log.Printf("graph %q: promoted (migration cutover)", graph)
+			return adopter.Promote(graph)
+		}
+		handler.OnDrop = func(graph string) error {
+			log.Printf("graph %q: dropped (migrated away)", graph)
+			return adopter.Drop(graph)
+		}
+	}
 	if len(replicaFollowers) > 0 {
 		// POST /v1/replication/promote turns this replica into a leader:
 		// every replication loop stops (WALs stay open, so subsequent local
@@ -286,8 +339,23 @@ func checkpointLoop(reg *service.Registry, dir string, every time.Duration, wals
 				continue
 			}
 			ck := ckpts[name]
+			if ck == nil && gr.FollowState() != nil {
+				// Mid-adoption: the adoption's own Follower checkpoints this
+				// graph (bootstrap commit, re-bootstrap saves) through its
+				// private Checkpointer; a second one here would race it.
+				// After promotion FollowState clears and the graph joins the
+				// loop below, with its WAL found via gr.WAL().
+				continue
+			}
 			if ck == nil {
-				if wal := wals[name]; wal != nil {
+				wal := wals[name]
+				if wal == nil {
+					// Registered after boot (adopted, then promoted): the WAL
+					// lives on the graph's durability hook, not in the boot-time
+					// map.
+					wal = gr.WAL()
+				}
+				if wal != nil {
 					ck = storage.NewDurableCheckpointer(dir, name, wal)
 				} else {
 					ck = storage.NewCheckpointer(filepath.Join(dir, name+".egpt"))

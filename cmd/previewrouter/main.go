@@ -16,7 +16,10 @@
 // Shard IDs are the ring's hash keys: keep them stable across restarts
 // and config edits, or graphs will re-map. Adding or removing a shard
 // moves only ~1/N of the graphs (the consistent-hashing contract);
-// renaming one moves everything it owned.
+// renaming one moves everything it owned. Membership also changes at
+// runtime: POST /v1/fleet/shards joins a shard and DELETE
+// /v1/fleet/shards/{id} drains one, each migrating exactly the
+// reassigned graphs while reads keep flowing.
 //
 // Graph placement must match ring ownership: the router forwards a
 // graph's requests to the shard the ring assigns it, so each graph has
@@ -72,6 +75,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One synchronous sweep before serving: without it the router answers
+	// its first probe-interval of traffic knowing no graph sets, no lag,
+	// and no fences — every read goes to the leader and writes are
+	// unstamped. Probe first, then open the door.
+	rt.ProbeAll()
 	rt.Start(*probeInterval)
 	defer rt.Stop()
 

@@ -55,6 +55,18 @@ func TestRouterRouteDiscipline(t *testing.T) {
 		{"write route read method", h.ts.URL, "GET", "/v1/graphs/" + g + "/edges", want{status: 405, allow: str("POST")}},
 		{"replication status wrong method", h.ts.URL, "POST", "/v1/replication/" + g + "/status", want{status: 405, allow: str("GET, HEAD")}},
 
+		// The membership admin routes obey the same discipline: existence
+		// first (an unknown shard id 404s on DELETE, a deeper path is no
+		// route at all), then method with an accurate Allow, then the
+		// request's own validity (malformed spec 400, duplicate id 409,
+		// last shard 409).
+		{"shard add wrong method", h.ts.URL, "GET", "/v1/fleet/shards", want{status: 405, allow: str("POST")}},
+		{"shard remove wrong method", h.ts.URL, "GET", "/v1/fleet/shards/alpha", want{status: 405, allow: str("DELETE")}},
+		{"shard remove unknown", h.ts.URL, "DELETE", "/v1/fleet/shards/nope", want{status: 404}},
+		{"shard route too deep", h.ts.URL, "DELETE", "/v1/fleet/shards/alpha/extra", want{status: 404}},
+		{"shard add bad body", h.ts.URL, "POST", "/v1/fleet/shards", want{status: 400}},
+		{"shard remove last", h.ts.URL, "DELETE", "/v1/fleet/shards/alpha", want{status: 409}},
+
 		// Role: a write aimed straight at a replica is refused with a
 		// pointer to the node it tails — the router, which is exactly
 		// where the client should have sent it.
@@ -93,6 +105,23 @@ func TestRouterRouteDiscipline(t *testing.T) {
 			}
 		})
 	}
+
+	// Re-adding an existing shard id under a DIFFERENT leader is a
+	// conflict, not an upsert: shard ids are the ring's hash keys, and
+	// silently re-pointing one would re-home its graphs to a node that
+	// does not hold them.
+	t.Run("shard add duplicate id", func(t *testing.T) {
+		resp, err := http.Post(h.ts.URL+"/v1/fleet/shards", "application/json",
+			strings.NewReader(`{"id":"alpha","leader":"http://127.0.0.1:1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("duplicate shard add: status %d, want 409", resp.StatusCode)
+		}
+	})
 
 	// HEAD on every read route: same status and validator as GET, not a
 	// byte of body — whether the router answers itself (list, fleet,

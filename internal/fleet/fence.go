@@ -1,0 +1,56 @@
+package fleet
+
+// Fencing: the router is the fleet's single write authority, and the
+// fencing epoch is how it makes that authority stick across failures.
+// Each shard carries a monotonically increasing fence, minted by the
+// router and persisted by the shard's leader next to its WAL manifest
+// (internal/storage). Every proxied POST write is stamped with the
+// owner's current fence; a node whose installed fence differs answers
+// 409 instead of acknowledging. The fence is bumped at every promotion
+// (the promote request carries old+1, installed by the winner BEFORE
+// it starts leading) and at every migration cutover that takes graphs
+// away from a shard — so a deposed leader that wakes back up holds a
+// fence the router no longer stamps, and can never acknowledge another
+// write, no matter how briefly it was unreachable.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// fenceExchange tells the node at base to raise its persisted fence to
+// at least want and returns the fence the node actually holds after the
+// exchange — max(want, persisted). The max matters on router restart:
+// a fresh router sends want=1, and a leader that survived the previous
+// router's tenure answers with the real (higher) fence it persisted, so
+// the router recovers the fleet's fencing state instead of resetting it.
+func (rt *Router) fenceExchange(base string, want uint64) (uint64, error) {
+	body, err := json.Marshal(struct {
+		Fence uint64 `json:"fence"`
+	}{Fence: want})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rt.probe.Post(base+"/v1/replication/fence", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fence exchange with %s: status %d: %s", base, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var doc struct {
+		Fence uint64 `json:"fence"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("fence exchange with %s: %w", base, err)
+	}
+	return doc.Fence, nil
+}

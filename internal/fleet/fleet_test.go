@@ -58,6 +58,12 @@ func startLeaderProc(t testing.TB, shardID string, graphs []string, root string)
 		wals:    map[string]*storage.WAL{},
 		walRoot: filepath.Join(root, "leader-"+shardID),
 	}
+	// Fencing arms before anything serves — and a restarted leader (same
+	// walRoot) recovers its persisted fence here, which is exactly what
+	// keeps a deposed leader deposed.
+	if err := lp.reg.EnableFencing(lp.walRoot); err != nil {
+		t.Fatal(err)
+	}
 	for _, g := range graphs {
 		rec, err := service.RecoverLive(fig1.Graph(), g, "", filepath.Join(lp.walRoot, g), score.DefaultWalkOptions())
 		if err != nil {
@@ -70,7 +76,19 @@ func startLeaderProc(t testing.TB, shardID string, graphs []string, root string)
 		lp.lives[g] = rec.Live
 		lp.wals[g] = rec.WAL
 	}
-	lp.ts = httptest.NewServer(service.New(lp.reg))
+	srv := service.New(lp.reg)
+	// Migration endpoints, mirroring cmd/previewd's durable-leader wiring.
+	adopter := service.NewAdopter(lp.reg, service.FollowerOptions{
+		Walk:          score.DefaultWalkOptions(),
+		CheckpointDir: filepath.Join(root, "leader-"+shardID+"-ckpt"),
+		WALRoot:       lp.walRoot,
+		Wait:          150 * time.Millisecond,
+		Backoff:       5 * time.Millisecond,
+	})
+	srv.OnAdopt = adopter.Adopt
+	srv.OnGraphPromote = adopter.Promote
+	srv.OnDrop = adopter.Drop
+	lp.ts = httptest.NewServer(srv)
 	t.Cleanup(lp.ts.Close)
 	return lp
 }
@@ -100,6 +118,12 @@ func startFollowerProc(t testing.TB, routerURL string, graphs []string, root str
 	fp := &followerProc{reg: service.NewRegistry(), fs: map[string]*service.Follower{}}
 	ckpt := filepath.Join(root, "ckpt")
 	if err := os.MkdirAll(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A durable replica fences too: it learns the shard's fence from the
+	// stamped replication responses it tails through the router, and
+	// installs the successor fence when the router promotes it.
+	if err := fp.reg.EnableFencing(filepath.Join(root, "wal")); err != nil {
 		t.Fatal(err)
 	}
 	for _, g := range graphs {
@@ -135,6 +159,7 @@ func startFollowerProc(t testing.TB, routerURL string, graphs []string, root str
 // and the router fronting them.
 type fleetHarness struct {
 	t       testing.TB
+	root    string // the fleet's durable state; a "restarted" proc reuses it
 	rt      *Router
 	ts      *httptest.Server // the router's front door
 	leaders map[string]*leaderProc
@@ -162,6 +187,7 @@ func startFleet(t testing.TB, shardIDs, graphs []string, followersPerShard int, 
 	}
 	h := &fleetHarness{
 		t:       t,
+		root:    root,
 		leaders: map[string]*leaderProc{},
 		fprocs:  map[string][]*followerProc{},
 		byShard: byShard,

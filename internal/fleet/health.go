@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"slices"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -94,6 +95,24 @@ func (rt *Router) probeShard(sh *shard) {
 
 	leaderEpochs, leaderErr := rt.nodeEpochs(leaderURL)
 
+	if leaderErr == nil && sh.fence.Load() == 0 {
+		// Activate fencing on first contact: tell the leader to hold at
+		// least fence 1 and adopt whatever it actually holds (a leader
+		// that survived a previous router answers with its persisted,
+		// possibly higher, fence — so a router restart recovers the
+		// fleet's fencing state instead of resetting it). CAS because a
+		// concurrent failover may have minted a fence meanwhile; the
+		// higher one wins by staying.
+		if f, err := rt.fenceExchange(leaderURL, 1); err == nil {
+			if sh.fence.CompareAndSwap(0, f) {
+				rt.logf("fleet: shard %s: fencing active at epoch %d (leader %s)", sh.id, f, leaderURL)
+			}
+		} else if sh.fenceWarned.CompareAndSwap(false, true) {
+			rt.logf("fleet: shard %s: leader %s cannot fence (%v); writes to it go unstamped — run previewd with -wal-dir to enable fencing",
+				sh.id, leaderURL, err)
+		}
+	}
+
 	// Probe followers regardless of the leader's state: their published
 	// epochs are exactly what failover needs when the leader is gone.
 	results := make([]probeResult, len(followers))
@@ -121,7 +140,7 @@ func (rt *Router) probeShard(sh *shard) {
 			// misconfiguration here, once per change, instead of leaving
 			// only a bare 404 for the client.
 			for _, g := range names {
-				if owner := rt.ring.Owner(g); owner != sh.id {
+				if owner := rt.ring.Load().Owner(g); owner != sh.id {
 					rt.logf("fleet: shard %s serves graph %q but the ring assigns it to shard %s; requests for it will miss — provision it on its owning shard",
 						sh.id, g, owner)
 				}
@@ -191,7 +210,28 @@ func (rt *Router) failover(sh *shard, followers []*backend, results []probeResul
 	}
 	winner := followers[best]
 	rt.syncWinner(sh, winner, followers, drained, best, graphs)
-	resp, err := rt.probe.Post(winner.url+"/v1/replication/promote", "application/json", nil)
+	// Mint the successor fence and carry it on the promote request: the
+	// winner persists it BEFORE it starts accepting writes, so from its
+	// first acknowledged write onward the old leader's fence is history —
+	// if the deposed leader wakes up, every stamp it sees (its own
+	// persisted fence, or a replayed old stamp) mismatches and it answers
+	// 409 instead of acknowledging. A shard where fencing never activated
+	// (volatile backends) promotes unstamped, exactly as before fencing
+	// existed — a fence the winner cannot persist would be theater.
+	var newFence uint64
+	if cur := sh.fence.Load(); cur != 0 {
+		newFence = cur + 1
+	}
+	req, err := http.NewRequest(http.MethodPost, winner.url+"/v1/replication/promote", nil)
+	if err != nil {
+		rt.logf("fleet: shard %s: promoting %s failed: %v", sh.id, winner.url, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if newFence != 0 {
+		req.Header.Set(fenceHeader, strconv.FormatUint(newFence, 10))
+	}
+	resp, err := rt.probe.Do(req)
 	if err != nil {
 		rt.logf("fleet: shard %s: promoting %s failed: %v", sh.id, winner.url, err)
 		return
@@ -201,6 +241,9 @@ func (rt *Router) failover(sh *shard, followers []*backend, results []probeResul
 	if resp.StatusCode != http.StatusOK {
 		rt.logf("fleet: shard %s: promoting %s answered %d", sh.id, winner.url, resp.StatusCode)
 		return
+	}
+	if newFence != 0 {
+		sh.fence.Store(newFence)
 	}
 
 	rt.mu.Lock()
@@ -279,8 +322,8 @@ func (rt *Router) syncWinner(sh *shard, winner *backend, followers []*backend, d
 		rt.logf("fleet: shard %s: syncing %s to epoch %d on %q from %s before promotion",
 			sh.id, winner.url, want, g, needs[g])
 		for {
-			st, err := rt.replStatus(winner.url, g)
-			if err == nil && st.epoch >= want {
+			st, found, err := rt.replStatus(winner.url, g)
+			if err == nil && found && st.epoch >= want {
 				break
 			}
 			if time.Now().After(deadline) {
@@ -321,10 +364,19 @@ func (rt *Router) drainFollowers(sh *shard, followers []*backend, results []prob
 			settled := true
 			reachable := true
 			for _, g := range graphs {
-				st, err := rt.replStatus(f.url, g)
+				st, found, err := rt.replStatus(f.url, g)
 				if err != nil {
 					reachable = false
 					break
+				}
+				if !found {
+					// Not bootstrapped on this graph — it holds epoch 0 of
+					// it, nothing more. That makes it a poor candidate, not
+					// an unreachable one: disqualifying the whole follower
+					// here would discard its (possibly fleet-leading) epochs
+					// on every OTHER graph over one 404.
+					epochs[g] = 0
+					continue
 				}
 				epochs[g] = st.epoch
 				if st.errMsg == "" {
@@ -348,34 +400,51 @@ func (rt *Router) drainFollowers(sh *shard, followers []*backend, results []prob
 	return out
 }
 
-// replStatus reads one graph's replication status from a node: its
-// published epoch and the replication loop's current error, if any.
-func (rt *Router) replStatus(base, graph string) (struct {
-	epoch  uint64
-	errMsg string
-}, error) {
-	var st struct {
-		epoch  uint64
-		errMsg string
-	}
+// replState is one graph's replication status as a node reports it.
+// durable/applied matter to the migration pipeline (membership.go):
+// cutover waits until the adopter has APPLIED everything the source
+// holds DURABLY, which is exactly the acknowledged history.
+type replState struct {
+	epoch   uint64
+	durable uint64
+	applied uint64
+	errMsg  string
+}
+
+// replStatus reads one graph's replication status from a node. A 404 —
+// the node does not host the graph (yet) — is not an error: it returns
+// found=false with a zero state, because "not bootstrapped" is an
+// ordinary answer during adoption and right after a follower starts,
+// not evidence the node is unreachable.
+func (rt *Router) replStatus(base, graph string) (replState, bool, error) {
+	var st replState
 	resp, err := rt.probe.Get(base + "/v1/replication/" + graph + "/status")
 	if err != nil {
-		return st, err
+		return st, false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return st, false, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return st, fmt.Errorf("status %d", resp.StatusCode)
+		return st, false, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	var doc struct {
-		Epoch uint64 `json:"epoch"`
-		Error string `json:"error"`
+		Epoch        uint64  `json:"epoch"`
+		DurableEpoch uint64  `json:"durable_epoch"`
+		AppliedEpoch *uint64 `json:"applied_epoch"`
+		Error        string  `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return st, err
+		return st, false, err
 	}
-	st.epoch, st.errMsg = doc.Epoch, doc.Error
-	return st, nil
+	st.epoch, st.durable, st.errMsg = doc.Epoch, doc.DurableEpoch, doc.Error
+	if doc.AppliedEpoch != nil {
+		st.applied = *doc.AppliedEpoch
+	}
+	return st, true, nil
 }
 
 // Start launches the background probe loop at the given cadence; Stop

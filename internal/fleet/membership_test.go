@@ -1,0 +1,213 @@
+package fleet
+
+// Elastic membership end to end: a third shard joins a live two-shard
+// fleet over POST /v1/fleet/shards, exactly the ring-reassigned graphs
+// migrate to it (and only those — the consistent-hashing contract),
+// reads stay byte-identical through the router at every phase of the
+// migration (asserted from inside the pipeline via the migrate hook),
+// and DELETE /v1/fleet/shards/{id} drains it back out, restoring the
+// original owners exactly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fetchAll is readSurfaces without testing.TB fatals: the migrate hook
+// runs on the admin request's handler goroutine, where t.Fatal must not
+// be called.
+func fetchAll(base string, urls []string) (map[string]string, error) {
+	out := make(map[string]string, len(urls))
+	for _, u := range urls {
+		resp, err := http.Get(base + u)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d body %s", u, resp.StatusCode, raw)
+		}
+		out[u] = resp.Header.Get("ETag") + "\n" + string(raw)
+	}
+	return out, nil
+}
+
+// assertMidMigration compares one graph's read surfaces through the
+// router against the node the ring currently routes it to, mid-pipeline.
+func (h *fleetHarness) assertMidMigration(phase, graph string) {
+	urls := graphReadURLs(graph)
+	owner := h.rt.Owner(graph)
+	want, err := fetchAll(h.leaderBase(owner), urls)
+	if err != nil {
+		h.t.Errorf("phase %s, graph %s: reading owner shard %s: %v", phase, graph, owner, err)
+		return
+	}
+	got, err := fetchAll(h.ts.URL, urls)
+	if err != nil {
+		h.t.Errorf("phase %s, graph %s: reading through router: %v", phase, graph, err)
+		return
+	}
+	for _, u := range urls {
+		if got[u] != want[u] {
+			h.t.Errorf("phase %s: GET %s diverged between router and owner %s:\nowner:  %s\nrouter: %s",
+				phase, u, owner, want[u], got[u])
+		}
+	}
+}
+
+// refreshPlacement recomputes the harness's graph→shard map from the
+// router's live ring, after a membership change.
+func (h *fleetHarness) refreshPlacement() {
+	byShard := map[string][]string{}
+	for _, g := range h.graphs {
+		owner := h.rt.Owner(g)
+		byShard[owner] = append(byShard[owner], g)
+	}
+	h.byShard = byShard
+}
+
+func TestFleetMembership(t *testing.T) {
+	shardIDs := []string{"alpha", "beta"}
+	graphs := []string{"atlas", "cedar", "delta", "briar", "grove", "heath"}
+	h := startFleet(t, shardIDs, graphs, 1, RouterOptions{FailAfter: 2, Logf: t.Logf})
+	h.rt.ProbeAll()
+
+	origOwner := map[string]string{}
+	for _, g := range graphs {
+		origOwner[g] = h.rt.Owner(g)
+	}
+
+	// Acknowledged history on every graph before anything moves.
+	for i := 0; i < 3; i++ {
+		for _, g := range graphs {
+			h.mustPost(g, writeBody(g, i))
+		}
+	}
+	h.quiesce()
+	h.assertDifferential("before join")
+	h.assertMergedList("before join")
+
+	// The expected move set is computable up front: the ring is
+	// deterministic, so the joined ring's reassignments are exactly the
+	// graphs whose owner changes — and each must move TO the new shard.
+	newRing := NewRing([]string{"alpha", "beta", "gamma"}, 0)
+	var wantMoved []string
+	for _, g := range graphs {
+		if newOwner := newRing.Owner(g); newOwner != origOwner[g] {
+			if newOwner != "gamma" {
+				t.Fatalf("ring reassigned %q to %s on a pure join; consistent hashing moves keys only to the new shard", g, newOwner)
+			}
+			wantMoved = append(wantMoved, g)
+		}
+	}
+	sort.Strings(wantMoved)
+	if len(wantMoved) == 0 || len(wantMoved) == len(graphs) {
+		t.Fatalf("degenerate move plan %v; pick graph names that split", wantMoved)
+	}
+
+	// The migrate hook asserts byte-identity from INSIDE the pipeline:
+	// after adoption (old owner still serving) and right after cutover
+	// (ring swapped, new owner serving as a not-yet-promoted adopter).
+	h.rt.migrateHook = func(phase, graph string) {
+		if phase == "adopted" || phase == "cutover" {
+			h.assertMidMigration(phase, graph)
+		}
+	}
+
+	// A fresh, EMPTY leader process joins over the admin route.
+	gamma := startLeaderProc(t, "gamma", nil, h.root)
+	spec, _ := json.Marshal(map[string]any{"id": "gamma", "leader": gamma.ts.URL})
+	resp, err := http.Post(h.ts.URL+"/v1/fleet/shards", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/fleet/shards: status %d body %s", resp.StatusCode, raw)
+	}
+	var addDoc struct {
+		Added string   `json:"added"`
+		Moved []string `json:"moved"`
+	}
+	if err := json.Unmarshal(raw, &addDoc); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(addDoc.Moved)
+	if !reflect.DeepEqual(addDoc.Moved, wantMoved) {
+		t.Fatalf("join moved %v, want exactly the reassigned graphs %v", addDoc.Moved, wantMoved)
+	}
+	h.leaders["gamma"] = gamma
+	h.refreshPlacement()
+
+	// The moved graphs now live on gamma and ONLY on gamma: the old
+	// owners dropped their copies.
+	for _, g := range wantMoved {
+		if owner := h.rt.Owner(g); owner != "gamma" {
+			t.Fatalf("after join, %q owned by %s, want gamma", g, owner)
+		}
+		if _, ok := gamma.reg.Get(g); !ok {
+			t.Fatalf("after join, gamma does not host %q", g)
+		}
+		if _, ok := h.leaders[origOwner[g]].reg.Get(g); ok {
+			t.Fatalf("after join, old owner %s still hosts %q", origOwner[g], g)
+		}
+	}
+
+	// Writes land everywhere — including the migrated graphs, now
+	// fence-stamped for gamma — and reads stay byte-identical.
+	for _, g := range graphs {
+		h.mustPost(g, writeBody(g, 500))
+	}
+	h.quiesce()
+	h.assertDifferential("after join")
+	h.assertMergedList("after join")
+
+	// Drain gamma back out. Consistent hashing restores the ORIGINAL
+	// owners: removal is the exact inverse of the join.
+	req, _ := http.NewRequest(http.MethodDelete, h.ts.URL+"/v1/fleet/shards/gamma", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /v1/fleet/shards/gamma: status %d body %s", resp.StatusCode, raw)
+	}
+	var delDoc struct {
+		Removed string   `json:"removed"`
+		Moved   []string `json:"moved"`
+	}
+	if err := json.Unmarshal(raw, &delDoc); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(delDoc.Moved)
+	if !reflect.DeepEqual(delDoc.Moved, wantMoved) {
+		t.Fatalf("drain moved %v, want %v", delDoc.Moved, wantMoved)
+	}
+	delete(h.leaders, "gamma")
+	h.refreshPlacement()
+	for _, g := range graphs {
+		if owner := h.rt.Owner(g); owner != origOwner[g] {
+			t.Fatalf("after drain, %q owned by %s, want the original %s", g, owner, origOwner[g])
+		}
+	}
+
+	for _, g := range graphs {
+		h.mustPost(g, writeBody(g, 900))
+	}
+	h.quiesce()
+	h.assertDifferential("after drain")
+	h.assertMergedList("after drain")
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -11,16 +12,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Header names shared with internal/service. The router mints no epochs
 // and names no leaders itself — those headers arrive from the backends
 // and are copied through verbatim — but it does stamp elapsed time on
-// the responses it synthesizes (the merged list, /v1/fleet).
+// the responses it synthesizes (the merged list, /v1/fleet), and it
+// mints fences: every proxied POST write carries the owning shard's
+// fencing epoch, and every forwarded replication response carries it
+// too so followers keep their persisted fences current (see fence.go).
 const (
 	elapsedHeader = "X-Previewtables-Elapsed"
 	leaderHeader  = "X-Previewtables-Leader"
+	fenceHeader   = "X-Previewtables-Fence"
 )
 
 // DefaultFailAfter is how many consecutive failed leader probes trigger
@@ -64,7 +70,19 @@ type shard struct {
 	leader    *backend
 	followers []*backend
 	graphs    []string // sorted; discovered from the leader's /v1/graphs
-	rr        uint64
+	// rr is the read-spreading cursor; atomic so the read hot path can
+	// bump it under the shared RLock instead of serializing on mu.
+	rr atomic.Uint64
+	// fence is the shard's current fencing epoch as the router knows it:
+	// 0 until the first successful exchange with the leader (unfenced —
+	// writes go unstamped), then monotonically increasing — bumped at
+	// every promotion and at every migration cutover that takes graphs
+	// away from this shard. Guarded by atomics, not mu: it is read on
+	// every proxied write.
+	fence atomic.Uint64
+	// fenceWarned de-noises the probe log when a shard's backend cannot
+	// fence at all (static or volatile previewd): warn once, not per sweep.
+	fenceWarned atomic.Bool
 	// replSrc, when non-nil, overrides where a graph's replication
 	// routes forward — set only during a failover's catch-up phase,
 	// pointing each graph at the most-advanced surviving follower so
@@ -83,9 +101,25 @@ type shard struct {
 // the forwarding and the remaining followers keep tailing without
 // being reconfigured.
 type Router struct {
-	ring      *Ring
-	failAfter int
-	logf      func(string, ...any)
+	// ring is swapped atomically by runtime membership changes
+	// (membership.go); every request resolves ownership against one
+	// consistent ring. vnodes is pinned at construction so rebuilt rings
+	// hash identically to the original.
+	ring         atomic.Pointer[Ring]
+	vnodes       int
+	failAfter    int
+	probeTimeout time.Duration
+	logf         func(string, ...any)
+
+	// adminMu serializes membership changes (add/remove shard): a
+	// migration is a multi-step pipeline and two interleaved ones could
+	// each observe the other's half-moved graphs.
+	adminMu sync.Mutex
+
+	// migrateHook, when non-nil, observes migration phases ("adopted",
+	// "cutover", "done") per graph — the membership test asserts read
+	// byte-identity in the middle of a live migration through it.
+	migrateHook func(phase, graph string)
 
 	// proxy forwards client traffic: no timeout, because the replication
 	// WAL route long-polls (up to DefaultReplicationWait) and a router
@@ -102,9 +136,11 @@ type Router struct {
 	done chan struct{}
 }
 
-// NewRouter builds a router over the given shards. The ring is built
-// once from the shard IDs; graph ownership is fixed for the router's
-// lifetime (failover replaces a shard's leader, not the shard).
+// NewRouter builds a router over the given shards. The initial ring is
+// built from the shard IDs; runtime membership changes (AddShard /
+// RemoveShard, driven over the /v1/fleet/shards admin routes) rebuild
+// it and migrate the ~1/N reassigned graphs. Failover replaces a
+// shard's leader, never the shard.
 func NewRouter(specs []ShardSpec, opts RouterOptions) (*Router, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("fleet: a router needs at least one shard")
@@ -119,11 +155,13 @@ func NewRouter(specs []ShardSpec, opts RouterOptions) (*Router, error) {
 		opts.Logf = func(string, ...any) {}
 	}
 	rt := &Router{
-		failAfter: opts.FailAfter,
-		logf:      opts.Logf,
-		proxy:     &http.Client{},
-		probe:     &http.Client{Timeout: opts.ProbeTimeout},
-		shards:    make(map[string]*shard, len(specs)),
+		vnodes:       opts.Vnodes,
+		failAfter:    opts.FailAfter,
+		probeTimeout: opts.ProbeTimeout,
+		logf:         opts.Logf,
+		proxy:        &http.Client{},
+		probe:        &http.Client{Timeout: opts.ProbeTimeout},
+		shards:       make(map[string]*shard, len(specs)),
 	}
 	ids := make([]string, 0, len(specs))
 	for _, sp := range specs {
@@ -140,7 +178,7 @@ func NewRouter(specs []ShardSpec, opts RouterOptions) (*Router, error) {
 		rt.shards[sp.ID] = sh
 		ids = append(ids, sp.ID)
 	}
-	rt.ring = NewRing(ids, opts.Vnodes)
+	rt.ring.Store(NewRing(ids, opts.Vnodes))
 	return rt, nil
 }
 
@@ -159,7 +197,7 @@ func (rt *Router) AddFollower(shardID, url string) error {
 }
 
 // Owner returns the shard ID owning a graph name.
-func (rt *Router) Owner(graph string) string { return rt.ring.Owner(graph) }
+func (rt *Router) Owner(graph string) string { return rt.ring.Load().Owner(graph) }
 
 // Failovers reports how many leader promotions this router has driven.
 func (rt *Router) Failovers() int {
@@ -187,6 +225,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rt.handleFleet(w, r)
+	case path == "/v1/fleet/shards" || path == "/v1/fleet/shards/":
+		rt.handleShardAdd(w, r)
+	case strings.HasPrefix(path, "/v1/fleet/shards/"):
+		rt.handleShardRemove(w, r, strings.TrimPrefix(path, "/v1/fleet/shards/"))
 	case path == "/v1/graphs" || path == "/v1/graphs/":
 		if !rt.requireRead(w, r) {
 			return
@@ -212,7 +254,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // reads (spread=true) to a caught-up follower with leader fallback,
 // everything else to the leader.
 func (rt *Router) forwardGraph(w http.ResponseWriter, r *http.Request, graph string, spread bool) {
-	owner := rt.ring.Owner(graph)
+	owner := rt.ring.Load().Owner(graph)
 	rt.mu.RLock()
 	sh := rt.shards[owner]
 	rt.mu.RUnlock()
@@ -221,6 +263,19 @@ func (rt *Router) forwardGraph(w http.ResponseWriter, r *http.Request, graph str
 		// dereference if the shard map and ring ever disagree.
 		rt.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard owns graph %q", graph))
 		return
+	}
+	if r.Method == http.MethodPost {
+		// Stamp the write with the owning shard's fence (POST only: the
+		// fence authorizes writes, and stamping DELETE would launder the
+		// drop admin route through the router — unstamped, a fenced node
+		// refuses it, which is the point). If the shard's configuration
+		// changes while this request is in flight, the stamp no longer
+		// matches the node's installed fence and the node answers 409
+		// instead of acknowledging a write the router no longer stands
+		// behind.
+		if f := sh.fence.Load(); f != 0 {
+			r.Header.Set(fenceHeader, strconv.FormatUint(f, 10))
+		}
 	}
 	if spread {
 		if f := rt.pickFollower(sh, graph); f != "" {
@@ -247,7 +302,7 @@ func (rt *Router) forwardGraph(w http.ResponseWriter, r *http.Request, graph str
 // as shipped), so the promotion candidate can pull the epochs it is
 // missing through the same path it always tails.
 func (rt *Router) forwardRepl(w http.ResponseWriter, r *http.Request, graph string) {
-	owner := rt.ring.Owner(graph)
+	owner := rt.ring.Load().Owner(graph)
 	rt.mu.RLock()
 	sh := rt.shards[owner]
 	var target string
@@ -262,6 +317,15 @@ func (rt *Router) forwardRepl(w http.ResponseWriter, r *http.Request, graph stri
 		rt.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no shard owns graph %q", graph))
 		return
 	}
+	// Stamp the shard's fence on the forwarded RESPONSE (proxyTo copies
+	// the backend's headers on top; a preset survives because Add, not
+	// Set, merges them — and the backend never emits this header itself).
+	// Followers tailing through the router adopt it (follower.go), which
+	// keeps every replica's persisted fence current without another
+	// round trip.
+	if f := sh.fence.Load(); f != 0 {
+		w.Header().Set(fenceHeader, strconv.FormatUint(f, 10))
+	}
 	if !rt.proxyTo(w, r, target) {
 		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("shard %q replication source is unreachable", owner))
 	}
@@ -272,9 +336,13 @@ func (rt *Router) forwardRepl(w http.ResponseWriter, r *http.Request, graph stri
 // "Caught up" means the last probe saw replication lag 0 for this graph
 // — decidable because every follower publishes contiguous epochs, so
 // applied == leader-epoch is the whole story, not a lower bound.
+//
+// The cursor bump is atomic under the shared read lock: spread reads
+// are the router's hot path, and taking the exclusive mu here would
+// serialize every read against every other just to increment a counter.
 func (rt *Router) pickFollower(sh *shard, graph string) string {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	var candidates []string
 	for _, f := range sh.followers {
 		if f.fails == 0 && f.lag != nil {
@@ -286,8 +354,8 @@ func (rt *Router) pickFollower(sh *shard, graph string) string {
 	if len(candidates) == 0 {
 		return ""
 	}
-	sh.rr++
-	return candidates[sh.rr%uint64(len(candidates))]
+	n := sh.rr.Add(1)
+	return candidates[n%uint64(len(candidates))]
 }
 
 // proxyTo forwards the request verbatim to base and copies the response
@@ -351,14 +419,28 @@ func (rt *Router) handleMergedList(w http.ResponseWriter, r *http.Request) {
 	var entries []entry
 	var scope strings.Builder
 	scope.WriteString("fleet-graphs")
+	ring := rt.ring.Load()
 	for _, tg := range targets {
-		resp, err := rt.proxy.Get(tg.url + "/v1/graphs")
+		// Bounded at probe-timeout scale per shard: the untimed proxy
+		// client exists for long-polls, but a list fetch that a single
+		// hung leader can stall forever would wedge every merged-list
+		// request behind it. Degrade to a 502 naming the shard instead.
+		ctx, cancel := context.WithTimeout(r.Context(), rt.probeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, tg.url+"/v1/graphs", nil)
 		if err != nil {
+			cancel()
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf("listing shard %q: %w", tg.id, err))
+			return
+		}
+		resp, err := rt.proxy.Do(req)
+		if err != nil {
+			cancel()
 			rt.writeError(w, http.StatusBadGateway, fmt.Errorf("listing shard %q: %w", tg.id, err))
 			return
 		}
 		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		cancel()
 		if err != nil || resp.StatusCode != http.StatusOK {
 			rt.writeError(w, http.StatusBadGateway,
 				fmt.Errorf("listing shard %q: status %d (%v)", tg.id, resp.StatusCode, err))
@@ -376,6 +458,16 @@ func (rt *Router) handleMergedList(w http.ResponseWriter, r *http.Request) {
 			if err := json.Unmarshal(g, &peek); err != nil {
 				rt.writeError(w, http.StatusBadGateway, fmt.Errorf("listing shard %q: %w", tg.id, err))
 				return
+			}
+			if ring.Owner(peek.Name) != tg.id {
+				// Splice only the owner's entry. Mid-migration a graph is
+				// briefly hosted on two shards (the adopter's copy until the
+				// source drops it); keeping both would double-list the name.
+				// A misprovisioned graph — hosted only off its owner — drops
+				// out of the listing entirely, deliberately: it is
+				// unreachable through the router anyway, and the probe sweep
+				// already logs the misplacement.
+				continue
 			}
 			entries = append(entries, entry{name: peek.Name, raw: g})
 		}
@@ -421,6 +513,7 @@ type fleetDoc struct {
 type fleetShardDoc struct {
 	ID        string         `json:"id"`
 	Leader    string         `json:"leader"`
+	Fence     uint64         `json:"fence"`
 	Graphs    []string       `json:"graphs"`
 	Followers []fleetNodeDoc `json:"followers"`
 }
@@ -439,6 +532,7 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 		sd := fleetShardDoc{
 			ID:        sh.id,
 			Leader:    sh.leader.url,
+			Fence:     sh.fence.Load(),
 			Graphs:    append([]string{}, sh.graphs...),
 			Followers: []fleetNodeDoc{},
 		}

@@ -1,0 +1,181 @@
+package service
+
+// Adopter: the node-side machinery of graph migration. When the fleet
+// router moves a graph between shards it drives three admin routes on
+// the destination and source leaders (replication.go); an Adopter is
+// what previewd wires behind them. Adopt starts a per-graph Follower
+// tailing the graph from the old owner — checkpoint bootstrap over the
+// ordinary replication routes, durable local WAL, contiguous applies —
+// WITHOUT marking the whole registry as a follower, so the node keeps
+// leading its other graphs; the adopted graph's own FollowState is what
+// refuses direct writes until cutover. Promote stops the tail and opens
+// the graph for writes (the router has already fenced the source, so
+// nothing can land there anymore). Drop is the source side's cleanup:
+// unregister the graph and delete its local WAL segments and
+// checkpoints — the data now lives on the new owner.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/uta-db/previewtables/internal/score"
+	"github.com/uta-db/previewtables/internal/storage"
+)
+
+// Adopter hosts runtime graph adoption on a leader node. Safe for
+// concurrent use; one Adopter serves a whole registry.
+type Adopter struct {
+	reg  *Registry
+	opts FollowerOptions // Leader overridden per adoption
+
+	mu sync.Mutex
+	fs map[string]*Follower // graphs currently being adopted
+}
+
+// NewAdopter returns an Adopter whose adoptions replicate with opts
+// (Walk, CheckpointDir, WALRoot, Wait, Backoff); opts.Leader is ignored
+// — each adoption names its own source.
+func NewAdopter(reg *Registry, opts FollowerOptions) *Adopter {
+	return &Adopter{reg: reg, opts: opts, fs: make(map[string]*Follower)}
+}
+
+// Adopt begins replicating graph name from the leader at source
+// directly (not through a router: mid-migration the ring still routes
+// the graph's replication to the OLD owner only until cutover, and
+// after cutover to the new one — a direct tail is immune to the flip).
+func (a *Adopter) Adopt(name, source string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.fs[name]; ok {
+		return fmt.Errorf("service: already adopting %q", name)
+	}
+	if a.opts.CheckpointDir != "" {
+		// First adoption on a fresh node may precede any checkpointing.
+		if err := os.MkdirAll(a.opts.CheckpointDir, 0o755); err != nil {
+			return err
+		}
+	}
+	opts := a.opts
+	opts.Leader = source
+	f, err := startFollower(a.reg, name, opts, false)
+	if err != nil {
+		return err
+	}
+	a.fs[name] = f
+	return nil
+}
+
+// Promote completes an adoption: the replication loop stops, the follow
+// status clears, and the graph accepts writes on this node. The caller
+// (the router's migration pipeline) is responsible for having fenced
+// the source and waited for this node to reach the source's durable
+// epoch first.
+func (a *Adopter) Promote(name string) error {
+	a.mu.Lock()
+	f := a.fs[name]
+	delete(a.fs, name)
+	a.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("service: not adopting %q", name)
+	}
+	return f.promoteGraph()
+}
+
+// Drop unregisters graph name and deletes its local durable state — WAL
+// segment directory and checkpoints. Works on a led graph (the source
+// side of a completed migration) and on an in-flight adoption (aborting
+// it). Readers holding the old graph finish their requests; new ones
+// 404.
+func (a *Adopter) Drop(name string) error {
+	a.mu.Lock()
+	f := a.fs[name]
+	delete(a.fs, name)
+	a.mu.Unlock()
+
+	gr, ok := a.reg.Remove(name)
+	if !ok && f == nil {
+		return fmt.Errorf("service: no graph %q", name)
+	}
+	var walDir string
+	if f != nil {
+		if f.wal != nil {
+			walDir = f.wal.Dir()
+		}
+		f.Stop() // closes the WAL
+	} else if gr != nil {
+		if src := gr.replSrc(); src != nil && src.wal != nil {
+			walDir = src.wal.Dir()
+			src.wal.Close()
+		}
+	}
+	if walDir != "" {
+		if err := os.RemoveAll(walDir); err != nil {
+			return err
+		}
+	}
+	if a.opts.CheckpointDir != "" {
+		if err := storage.RemoveCheckpoints(a.opts.CheckpointDir, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverAdopted recovers graphs this node adopted at runtime: every
+// checkpoint manifest under ckptDir whose graph is not already
+// registered (the -graph/-domain flags cover the provisioned ones) is
+// recovered exactly like a flag-loaded durable graph — checkpoint plus
+// WAL-tail replay — and registered mutable. An adopted graph thereby
+// survives process restarts even though no flag names it. Returns
+// name → Recovery so the caller can hand the WALs to its checkpoint
+// loop.
+func RecoverAdopted(reg *Registry, ckptDir, walRoot string, walk score.WalkOptions) (map[string]*Recovery, error) {
+	ents, err := os.ReadDir(ckptDir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Recovery)
+	for _, e := range ents {
+		name, ok := strings.CutSuffix(e.Name(), ".current")
+		if !ok || name == "" || name == "fence" { // fence.current is the fence manifest, not a graph
+			continue
+		}
+		if _, ok := reg.Get(name); ok {
+			continue
+		}
+		g, epoch, found, err := storage.LoadLatestCheckpoint(ckptDir, name)
+		if err != nil {
+			return out, fmt.Errorf("service: recovering adopted %q: %w", name, err)
+		}
+		if !found {
+			continue
+		}
+		rec, err := recoverLiveAt(g, epoch, name, ckptDir, filepath.Join(walRoot, name), walk)
+		if err != nil {
+			return out, fmt.Errorf("service: recovering adopted %q: %w", name, err)
+		}
+		if err := reg.AddLive(name, rec.Live,
+			WithDurability(rec.WAL), WithOrigin(rec.Origin, rec.OriginEpoch)); err != nil {
+			rec.WAL.Close()
+			return out, err
+		}
+		out[name] = rec
+	}
+	return out, nil
+}
+
+// Adopting reports whether name is currently mid-adoption.
+func (a *Adopter) Adopting(name string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.fs[name]
+	return ok
+}

@@ -121,6 +121,14 @@ type Follower struct {
 // starts the replication loop. The registry is marked as following the
 // leader, so its write endpoints answer 503.
 func StartFollower(reg *Registry, name string, opts FollowerOptions) (*Follower, error) {
+	return startFollower(reg, name, opts, true)
+}
+
+// startFollower is StartFollower with the registry-wide leader mark
+// optional: an Adopter replicates ONE graph onto a node that leads its
+// others, so it must not 503 the whole registry — the adopted graph's
+// own FollowState is what gates its writes (see requireWritable).
+func startFollower(reg *Registry, name string, opts FollowerOptions, markLeader bool) (*Follower, error) {
 	if opts.Leader == "" {
 		return nil, errors.New("service: follower needs a leader URL")
 	}
@@ -132,7 +140,9 @@ func StartFollower(reg *Registry, name string, opts FollowerOptions) (*Follower,
 	if err := f.boot(context.Background()); err != nil {
 		return nil, fmt.Errorf("service: following %q from %s: %w", name, opts.Leader, err)
 	}
-	reg.SetLeader(opts.Leader)
+	if markLeader {
+		reg.SetLeader(opts.Leader)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f.cancel, f.done = cancel, make(chan struct{})
 	go f.run(ctx)
@@ -203,18 +213,32 @@ func (f *Follower) Stop() {
 // contiguous — no phantom or gapped epochs). A volatile follower has no
 // WAL to lead from and refuses.
 //
-// Promotion does not fence the old leader: the caller (the fleet
-// router) must have stopped routing writes to it first, and a revived
-// old leader must rejoin as a fresh follower rather than resume
-// writing.
+// Promotion itself does not depose the old leader — the fencing epoch
+// does: the fleet router carries the shard's bumped fence on the
+// promote request, the server installs it before calling this (see
+// handlePromote), and from then on the old leader's persisted fence no
+// longer matches any stamp the router issues, so a revived old leader
+// answers 409 to every write and must rejoin as a fresh follower.
 func (f *Follower) Promote() error {
+	if err := f.promoteGraph(); err != nil {
+		return err
+	}
+	f.reg.SetLeader("")
+	return nil
+}
+
+// promoteGraph is the graph-scoped half of Promote: stop the
+// replication loop and clear this graph's follow status, leaving the
+// registry-wide leader mark alone. Adopter.Promote uses it to cut one
+// migrated graph over on a node that was never a whole-registry
+// follower.
+func (f *Follower) promoteGraph() error {
 	if f.wal == nil {
 		return errors.New("service: cannot promote a volatile follower; it has no WAL to lead from")
 	}
 	f.cancel()
 	<-f.done
 	f.gr.follow.Store(nil)
-	f.reg.SetLeader("")
 	return nil
 }
 
@@ -378,6 +402,13 @@ func (f *Follower) poll(ctx context.Context) error {
 	}()
 	if e, err := strconv.ParseUint(resp.Header.Get(epochHeader), 10, 64); err == nil {
 		f.publishStatus(func(st *FollowStatus) { st.LeaderEpoch = e })
+	}
+	// Followers that tail through a fleet router see the shard's fence
+	// stamped on every forwarded replication response; adopting it keeps
+	// their persisted fence current, so a follower promoted later starts
+	// from a fence the router's next mint strictly exceeds.
+	if fence, err := strconv.ParseUint(resp.Header.Get(fenceHeader), 10, 64); err == nil {
+		f.reg.adoptFence(fence)
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:

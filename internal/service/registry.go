@@ -58,6 +58,14 @@ type Registry struct {
 	graphs map[string]*Graph
 	leader string // non-empty = follower registry; writes answer 503 naming it
 
+	// Fencing state (see EnableFencing). fence is read lock-free on the
+	// write hot path; fenceMu serializes installs so the persist and the
+	// in-memory store cannot interleave across concurrent installers.
+	fenceMu  sync.Mutex
+	fence    atomic.Uint64
+	fenceOn  atomic.Bool
+	fenceDir string
+
 	// scoreComputes counts score.Compute runs across all static graphs.
 	// Tests and benchmarks assert on it to prove the cache-hit path never
 	// re-runs the precomputation. (Live graphs never run score.Compute at
@@ -186,6 +194,84 @@ func (r *Registry) register(name string, gr *Graph) error {
 	}
 	r.graphs[name] = gr
 	return nil
+}
+
+// EnableFencing arms the write-path fence check (see Server's
+// requireWritable) and loads any fence previously persisted under dir —
+// a node that was deposed stays deposed across restarts. dir is the
+// node's WAL root; previewd enables fencing whenever -wal-dir is set.
+// An empty dir arms the check without persistence (tests only).
+func (r *Registry) EnableFencing(dir string) error {
+	r.fenceMu.Lock()
+	defer r.fenceMu.Unlock()
+	if dir != "" {
+		f, ok, err := storage.LoadFence(dir)
+		if err != nil {
+			return err
+		}
+		if ok && f > r.fence.Load() {
+			r.fence.Store(f)
+		}
+	}
+	r.fenceDir = dir
+	r.fenceOn.Store(true)
+	return nil
+}
+
+// Fencing returns the node's current fence and whether fencing is
+// enabled at all. Fence 0 with fencing enabled means "never fenced":
+// unstamped writes are still accepted (the standalone state).
+func (r *Registry) Fencing() (uint64, bool) {
+	return r.fence.Load(), r.fenceOn.Load()
+}
+
+// InstallFence raises the node's fence to f, persisting before the
+// in-memory store so an acknowledged install survives a crash. Raising
+// is monotone: f at or below the current fence is a no-op (a stale
+// installer learns the truth from Fencing, never lowers it). Installs
+// arrive only through admin channels — promotion, the fence-exchange
+// route, and the replication stream's fence header — never from the
+// write path itself.
+func (r *Registry) InstallFence(f uint64) error {
+	if !r.fenceOn.Load() {
+		return errors.New("service: fencing is not enabled on this node")
+	}
+	r.fenceMu.Lock()
+	defer r.fenceMu.Unlock()
+	if f <= r.fence.Load() {
+		return nil
+	}
+	if r.fenceDir != "" {
+		if err := storage.SaveFence(r.fenceDir, f); err != nil {
+			return err
+		}
+	}
+	r.fence.Store(f)
+	return nil
+}
+
+// adoptFence is InstallFence for fences observed on the replication
+// stream (the router stamps its forwarded replication responses):
+// best-effort, and a no-op on nodes without fencing — a follower of a
+// non-fleet leader sees no stamps and needs no fence.
+func (r *Registry) adoptFence(f uint64) {
+	if r.fenceOn.Load() && f > r.fence.Load() {
+		_ = r.InstallFence(f)
+	}
+}
+
+// Remove unregisters name and returns its graph, ok=false when it was
+// never registered. In-flight requests holding the graph finish against
+// their resolved views; new requests 404. Durable-state cleanup is the
+// caller's job (see Adopter.Drop) — the registry only owns the name.
+func (r *Registry) Remove(name string) (*Graph, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gr, ok := r.graphs[name]
+	if ok {
+		delete(r.graphs, name)
+	}
+	return gr, ok
 }
 
 // Get returns the registered graph, or ok=false.
@@ -439,6 +525,18 @@ func (gr *Graph) Live() *dynamic.Live { return gr.live.Load() }
 // replSrc returns the graph's shippable state, or nil when the graph is
 // static or volatile (no WAL, nothing to ship).
 func (gr *Graph) replSrc() *replSource { return gr.repl.Load() }
+
+// WAL returns the graph's write-ahead log, or nil for static/volatile
+// graphs. previewd's checkpoint loop uses it to pick up graphs that
+// were adopted at runtime (no startup flag ever named them).
+func (gr *Graph) WAL() *storage.WAL { return gr.repl.Load().walOrNil() }
+
+func (src *replSource) walOrNil() *storage.WAL {
+	if src == nil {
+		return nil
+	}
+	return src.wal
+}
 
 // FollowState returns the replication-loop status published by a
 // follower for this graph, or nil on a leader.

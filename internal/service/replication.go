@@ -2,9 +2,13 @@ package service
 
 // Replication endpoints: WAL shipping from a leader to its followers.
 //
-//	GET /v1/replication/{graph}/status             replication status doc
-//	GET /v1/replication/{graph}/wal?from=E&wait=D  shipped records with epochs > E
-//	GET /v1/replication/{graph}/checkpoint         bootstrap snapshot + epoch header
+//	GET  /v1/replication/{graph}/status             replication status doc
+//	GET  /v1/replication/{graph}/wal?from=E&wait=D  shipped records with epochs > E
+//	GET  /v1/replication/{graph}/checkpoint         bootstrap snapshot + epoch header
+//	POST /v1/replication/promote                    follower → leader, whole node
+//	POST /v1/replication/fence                      fence exchange (fence-enabled nodes)
+//	POST /v1/replication/{graph}/adopt              begin adopting a graph (migration)
+//	POST /v1/replication/{graph}/promote            complete an adoption, one graph
 //
 // The wal route streams records in the shipped framing (the segment
 // record framing verbatim; see storage.EncodeWALRecord), capped at the
@@ -32,8 +36,10 @@ package service
 // the invariant the differential tests pin.
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"strconv"
@@ -49,6 +55,12 @@ const epochHeader = "X-Previewtables-Epoch"
 
 // leaderHeader names the leader on a follower's 503 write refusals.
 const leaderHeader = "X-Previewtables-Leader"
+
+// fenceHeader carries a fencing epoch: the router stamps it on proxied
+// writes and on forwarded replication responses (followers adopt it
+// from there), carries it on promote requests, and 409 refusals echo
+// the node's own fence in it. See Registry.InstallFence.
+const fenceHeader = "X-Previewtables-Fence"
 
 // DefaultReplicationWait bounds the wal route's long poll; a follower's
 // request-level wait parameter can only shorten it.
@@ -92,13 +104,23 @@ type replStatusDoc struct {
 // the node-level promote action (no graph segment: promotion flips the
 // whole node, every followed graph at once).
 func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request, rest string) {
-	if rest == "promote" {
+	switch rest {
+	case "promote":
 		s.handlePromote(w, r)
+		return
+	case "fence":
+		s.handleFence(w, r)
 		return
 	}
 	name, action, ok := strings.Cut(rest, "/")
 	if !ok || name == "" || strings.Contains(action, "/") {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
+		return
+	}
+	if action == "adopt" {
+		// Adoption targets a graph this node does NOT yet hold — resolve
+		// the route before the registry lookup that would 404 it.
+		s.handleAdopt(w, r, name)
 		return
 	}
 	gr, ok := s.reg.Get(name)
@@ -108,9 +130,12 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request, rest 
 	}
 	switch action {
 	case "status", "wal", "checkpoint":
+	case "promote":
+		s.handleGraphPromote(w, r, gr)
+		return
 	default:
 		s.writeError(w, http.StatusNotFound,
-			fmt.Errorf("no such replication action %q: want status, wal or checkpoint", action))
+			fmt.Errorf("no such replication action %q: want status, wal, checkpoint, adopt or promote", action))
 		return
 	}
 	if !s.requireRead(w, r) {
@@ -150,6 +175,21 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
+	// The router carries the shard's new fence on the promote request;
+	// installing it BEFORE the flip means that from the very first write
+	// this node acknowledges as leader, it is fenced against the router
+	// ever re-issuing the old configuration's stamps.
+	if stamp := r.Header.Get(fenceHeader); stamp != "" {
+		f, err := strconv.ParseUint(stamp, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s header %q: %v", fenceHeader, stamp, err))
+			return
+		}
+		if err := s.reg.InstallFence(f); err != nil {
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("installing fence %d: %w", f, err))
+			return
+		}
+	}
 	if err := s.OnPromote(); err != nil {
 		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("promoting: %w", err))
 		return
@@ -157,6 +197,117 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, struct {
 		Promoted bool `json:"promoted"`
 	}{Promoted: true})
+}
+
+// handleFence serves POST /v1/replication/fence, the fence exchange:
+// the caller proposes a fence, the node raises its persisted fence to
+// at least that value, and the response reports the fence now in force
+// — max(proposed, persisted). The exchange is how a router (re)learns
+// a shard's fence: a freshly started router proposes 1 and adopts
+// whatever comes back, so a router restart can never regress a fleet
+// below fences already persisted. The route exists only on
+// fence-enabled nodes (previewd with -wal-dir); elsewhere it 404s like
+// any other nonexistent resource.
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	cur, on := s.reg.Fencing()
+	if !on {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("this node does not persist a fence; start previewd with -wal-dir to join a fleet"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req struct {
+		Fence uint64 `json:"fence"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad fence body: %v", err))
+		return
+	}
+	if req.Fence > cur {
+		if err := s.reg.InstallFence(req.Fence); err != nil {
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("installing fence %d: %w", req.Fence, err))
+			return
+		}
+	}
+	cur, _ = s.reg.Fencing()
+	s.writeJSON(w, struct {
+		Fence uint64 `json:"fence"`
+	}{Fence: cur})
+}
+
+// handleAdopt serves POST /v1/replication/{graph}/adopt: begin tailing
+// a graph this node does not yet hold from another shard's leader (the
+// first phase of migrating it here). The body names the source:
+// {"source": "http://old-leader:8080"}. Fence-gated; 409 when the graph
+// is already registered here (adopting over live state would be a
+// divergence bomb, and a retry of an in-flight adoption should land on
+// the status route, not start over).
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request, name string) {
+	if s.OnAdopt == nil {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("this node does not adopt graphs at runtime; start previewd with -mutable -wal-dir to be a migration target"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if !s.adminFenceOK(w, r) {
+		return
+	}
+	var req struct {
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil || req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("adopt body must name a source leader URL: %v", err))
+		return
+	}
+	if _, ok := s.reg.Get(name); ok {
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("graph %q is already registered on this node", name))
+		return
+	}
+	if err := s.OnAdopt(name, req.Source); err != nil {
+		s.writeError(w, http.StatusBadGateway, fmt.Errorf("adopting %q from %s: %w", name, req.Source, err))
+		return
+	}
+	s.writeJSON(w, struct {
+		Adopting string `json:"adopting"`
+		Source   string `json:"source"`
+	}{Adopting: name, Source: req.Source})
+}
+
+// handleGraphPromote serves POST /v1/replication/{graph}/promote: the
+// cutover half of adoption — stop tailing the source and open the graph
+// for writes on this node. Unlike the node-level promote (which flips a
+// whole follower process), this flips one graph on an otherwise-leading
+// node. Fence-gated.
+func (s *Server) handleGraphPromote(w http.ResponseWriter, r *http.Request, gr *Graph) {
+	if s.OnGraphPromote == nil {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("this node does not promote single graphs; see POST /v1/replication/promote for whole-node promotion"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if !s.adminFenceOK(w, r) {
+		return
+	}
+	if err := s.OnGraphPromote(gr.Name()); err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("promoting %q: %w", gr.Name(), err))
+		return
+	}
+	s.writeJSON(w, struct {
+		Promoted string `json:"promoted"`
+	}{Promoted: gr.Name()})
 }
 
 // walRange reads the shippable bracket: the durable epoch and the lowest

@@ -570,7 +570,44 @@ func TestReplicationRouteDiscipline(t *testing.T) {
 		{"follower write GET", follower.ts, "GET", "/v1/graphs/fig1/edges", want{status: 405, allow: str("POST")}},
 		{"follower write POST", follower.ts, "POST", "/v1/graphs/fig1/edges", want{status: 503, leader: true}},
 		{"follower triples POST", follower.ts, "POST", "/v1/graphs/fig1/triples", want{status: 503, leader: true}},
+		// The fleet admin routes (fence exchange, adopt, per-graph promote,
+		// drop) exist only on nodes wired for them — everywhere else the
+		// resource is absent, so 404 beats method, same as node promote.
+		{"fence on non-fencing node", leader.ts, "POST", "/v1/replication/fence", want{status: 404}},
+		{"fence wrong method non-fencing", leader.ts, "GET", "/v1/replication/fence", want{status: 404}},
+		{"adopt without adopter", leader.ts, "POST", "/v1/replication/fig1/adopt", want{status: 404}},
+		{"graph promote without adopter", leader.ts, "POST", "/v1/replication/fig1/promote", want{status: 404}},
+		{"graph promote unknown graph", leader.ts, "POST", "/v1/replication/nope/promote", want{status: 404}},
+		{"drop without adopter", leader.ts, "DELETE", "/v1/graphs/fig1", want{status: 404}},
 	}
+	// On a node that IS wired for fleet admin, the routes follow the
+	// ordinary method discipline with accurate Allow sets.
+	fleetReg := NewRegistry()
+	if err := fleetReg.EnableFencing(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleetReg.Add("held", fig1.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	fleetSrv := New(fleetReg)
+	fleetSrv.OnAdopt = func(string, string) error { return nil }
+	fleetSrv.OnGraphPromote = func(string) error { return nil }
+	fleetSrv.OnDrop = func(string) error { return nil }
+	fleetTS := httptest.NewServer(fleetSrv)
+	t.Cleanup(fleetTS.Close)
+	cases = append(cases, []struct {
+		name   string
+		ts     *httptest.Server
+		method string
+		path   string
+		want   want
+	}{
+		{"fence wrong method", fleetTS, "GET", "/v1/replication/fence", want{status: 405, allow: str("POST")}},
+		{"adopt wrong method", fleetTS, "GET", "/v1/replication/held/adopt", want{status: 405, allow: str("POST")}},
+		{"graph promote wrong method", fleetTS, "GET", "/v1/replication/held/promote", want{status: 405, allow: str("POST")}},
+		{"drop unknown graph", fleetTS, "DELETE", "/v1/graphs/nope", want{status: 404}},
+		{"drop wrong method", fleetTS, "PUT", "/v1/graphs/held", want{status: 405, allow: str("DELETE")}},
+	}...)
 	for _, tc := range cases {
 		req, err := http.NewRequest(tc.method, tc.ts.URL+tc.path, strings.NewReader("{}"))
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -24,7 +25,11 @@ import (
 //	GET  /v1/graphs/{name}/render?...      optimal preview as text/markdown
 //	POST /v1/graphs/{name}/edges           apply a JSON edge batch (mutable graphs)
 //	POST /v1/graphs/{name}/triples         apply a native-format triple batch
+//	DELETE /v1/graphs/{name}               drop a migrated graph (nodes with OnDrop)
 //	GET  /v1/replication/{name}/...        WAL shipping (see replication.go)
+//	POST /v1/replication/fence             fence exchange (fence-enabled nodes)
+//	POST /v1/replication/{name}/adopt      start adopting a graph (OnAdopt)
+//	POST /v1/replication/{name}/promote    complete an adoption (OnGraphPromote)
 //
 // Error ordering is uniform across routes: an unknown route, graph or
 // action answers 404 whatever the method; a known route with a method
@@ -90,6 +95,20 @@ type Server struct {
 	// node (leaders and static servers answer 404), which keeps the
 	// 404→405 discipline: resource existence is decided before method.
 	OnPromote func() error
+
+	// OnAdopt, OnGraphPromote and OnDrop are the graph-migration hooks a
+	// leader wires through an Adopter (adopter.go): adopt starts tailing
+	// one graph from another shard's leader, graph-promote completes the
+	// adoption (the graph opens for writes here), and drop unregisters a
+	// graph and deletes its local durable state after it has moved away.
+	// Nil means the corresponding route does not exist on this node —
+	// same 404-before-405 discipline as OnPromote. All three routes are
+	// fence-gated: on a fenced node they require a stamp at or above the
+	// current fence, so only the fleet router (which mints fences) can
+	// drive a migration.
+	OnAdopt        func(graph, source string) error
+	OnGraphPromote func(graph string) error
+	OnDrop         func(graph string) error
 
 	// forceCold routes every discovery through the per-view cold
 	// Discoverer, bypassing the carried-forward incremental state. Test
@@ -227,7 +246,13 @@ func (s *Server) requireRead(w http.ResponseWriter, r *http.Request) bool {
 //  3. a well-formed write to a follower answers 503 naming the leader in
 //     the X-Previewtables-Leader header: the method exists and the graph
 //     is mutable, but this node only accepts writes from the replication
-//     stream — 503 (not 405) so clients retry against the leader.
+//     stream — 503 (not 405) so clients retry against the leader;
+//  4. a graph this node is adopting mid-migration (per-graph follower on
+//     an otherwise-leading node) answers 503 the same way, because until
+//     the cutover promotes it the only writer is the old owner's stream;
+//  5. last, on a fence-enabled node the write's fence stamp must equal
+//     the node's persisted fence exactly (409 otherwise) — see
+//     writeFenceOK for why not-equal in either direction is fatal.
 func (s *Server) requireWritable(w http.ResponseWriter, r *http.Request, gr *Graph) bool {
 	if !gr.Mutable() {
 		w.Header().Set("Allow", "")
@@ -246,12 +271,108 @@ func (s *Server) requireWritable(w http.ResponseWriter, r *http.Request, gr *Gra
 			fmt.Errorf("graph %q is a read replica; write to the leader at %s", gr.Name(), leader))
 		return false
 	}
+	if gr.FollowState() != nil {
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("graph %q is being adopted from another shard (migration in flight); write through the fleet router", gr.Name()))
+		return false
+	}
+	return s.writeFenceOK(w, r)
+}
+
+// writeFenceOK enforces the fencing invariant on one write: with
+// fencing enabled, a stamped write lands only when its stamp EQUALS the
+// node's persisted fence. A lower stamp is a write routed under a
+// superseded configuration (the router has since promoted someone else
+// or migrated the graph); a higher stamp proves this node missed a
+// fence installation — i.e. it was deposed while unreachable — and the
+// write path never installs fences itself, so it refuses rather than
+// adopt. An unstamped write is accepted only by a never-fenced node
+// (fence 0): that is the standalone previewd, which must keep working
+// without a router. Every refusal is 409 with the node's fence in the
+// response header so the router can observe the disagreement.
+func (s *Server) writeFenceOK(w http.ResponseWriter, r *http.Request) bool {
+	cur, on := s.reg.Fencing()
+	if !on {
+		return true
+	}
+	stamp := r.Header.Get(fenceHeader)
+	if stamp == "" {
+		if cur == 0 {
+			return true
+		}
+		w.Header().Set(fenceHeader, strconv.FormatUint(cur, 10))
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("this node is fenced at epoch %d and accepts only writes stamped by its fleet router", cur))
+		return false
+	}
+	f, err := strconv.ParseUint(stamp, 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s header %q: %v", fenceHeader, stamp, err))
+		return false
+	}
+	if f != cur {
+		w.Header().Set(fenceHeader, strconv.FormatUint(cur, 10))
+		verdict := "stale: the fleet configuration has moved on"
+		if f > cur {
+			verdict = "unknown here: this node was deposed while unreachable"
+		}
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("write fence %d is %s (node fence %d); this node cannot acknowledge the write", f, verdict, cur))
+		return false
+	}
 	return true
 }
 
-// handleGraph dispatches /v1/graphs/{name}/{action}.
+// adminFenceOK gates the migration admin routes (adopt, graph-promote,
+// drop): on a fenced node the request must carry a stamp at or above
+// the current fence — higher stamps install (the admin channel is where
+// fences legitimately arrive), lower ones mean a superseded router and
+// answer 409. Unfenced nodes accept unstamped admin calls, so a
+// standalone operator can still drive a migration by hand.
+func (s *Server) adminFenceOK(w http.ResponseWriter, r *http.Request) bool {
+	cur, on := s.reg.Fencing()
+	if !on {
+		return true
+	}
+	stamp := r.Header.Get(fenceHeader)
+	if stamp == "" {
+		if cur == 0 {
+			return true
+		}
+		w.Header().Set(fenceHeader, strconv.FormatUint(cur, 10))
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("this node is fenced at epoch %d; admin actions must carry a current fence stamp", cur))
+		return false
+	}
+	f, err := strconv.ParseUint(stamp, 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s header %q: %v", fenceHeader, stamp, err))
+		return false
+	}
+	if f < cur {
+		w.Header().Set(fenceHeader, strconv.FormatUint(cur, 10))
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("admin fence %d is stale (node fence %d); a newer router owns this node", f, cur))
+		return false
+	}
+	if f > cur {
+		if err := s.reg.InstallFence(f); err != nil {
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("installing fence %d: %w", f, err))
+			return false
+		}
+	}
+	return true
+}
+
+// handleGraph dispatches /v1/graphs/{name}/{action}; the action-less
+// /v1/graphs/{name} is the graph resource itself, which exists as a
+// DELETE target on nodes that drop graphs at runtime (OnDrop set).
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string) {
 	name, action, ok := strings.Cut(rest, "/")
+	if (!ok || action == "") && name != "" {
+		s.handleDrop(w, r, name)
+		return
+	}
 	if !ok || name == "" || strings.Contains(action, "/") {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
 		return
@@ -286,6 +407,39 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, rest string
 		s.writeError(w, http.StatusNotFound,
 			fmt.Errorf("no such action %q: want stats, preview, render, edges or triples", action))
 	}
+}
+
+// handleDrop serves DELETE /v1/graphs/{name}: unregister the graph and
+// delete its local durable state, the final step of migrating it to
+// another shard. The resource exists only on nodes wired for runtime
+// drops (OnDrop set) and only for registered graphs — 404 otherwise,
+// before any method check. Fence-gated like the other migration admin
+// routes, so a superseded router cannot delete data the current one is
+// serving.
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request, name string) {
+	if s.OnDrop == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
+		return
+	}
+	if _, ok := s.reg.Get(name); !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q; see /v1/graphs", name))
+		return
+	}
+	if r.Method != http.MethodDelete {
+		w.Header().Set("Allow", "DELETE")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if !s.adminFenceOK(w, r) {
+		return
+	}
+	if err := s.OnDrop(name); err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("dropping %q: %w", name, err))
+		return
+	}
+	s.writeJSON(w, struct {
+		Dropped string `json:"dropped"`
+	}{Dropped: name})
 }
 
 // handleList serves /v1/graphs through the one-slot listing cache: the

@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	if f, ok, err := LoadFence(dir); err != nil || ok || f != 0 {
+		t.Fatalf("empty dir: LoadFence = %d, %v, %v; want 0, false, nil", f, ok, err)
+	}
+	if err := SaveFence(dir, 3); err != nil {
+		t.Fatalf("SaveFence: %v", err)
+	}
+	if f, ok, err := LoadFence(dir); err != nil || !ok || f != 3 {
+		t.Fatalf("LoadFence = %d, %v, %v; want 3, true, nil", f, ok, err)
+	}
+	// Overwrite is atomic: the manifest always names exactly one value.
+	if err := SaveFence(dir, 7); err != nil {
+		t.Fatalf("SaveFence overwrite: %v", err)
+	}
+	if f, _, err := LoadFence(dir); err != nil || f != 7 {
+		t.Fatalf("LoadFence after overwrite = %d, %v; want 7", f, err)
+	}
+}
+
+func TestFenceCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "not", "yet")
+	if err := SaveFence(dir, 1); err != nil {
+		t.Fatalf("SaveFence into missing dir: %v", err)
+	}
+	if f, ok, err := LoadFence(dir); err != nil || !ok || f != 1 {
+		t.Fatalf("LoadFence = %d, %v, %v; want 1, true, nil", f, ok, err)
+	}
+}
+
+func TestFenceCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, fenceFileName), []byte("not a number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFence(dir); err == nil {
+		t.Fatal("LoadFence accepted a corrupt manifest")
+	}
+}
